@@ -1,0 +1,66 @@
+//! Error types for architecture construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`ArchitectureBuilder::build`](crate::ArchitectureBuilder::build).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildArchitectureError {
+    /// The architecture contains no computation resource at all.
+    NoComputationResource,
+    /// Two processing elements share the same name.
+    DuplicateName(String),
+    /// Inter-processor communication is impossible: more than one computation
+    /// resource but no bus.
+    NoBus,
+    /// Condition broadcasting is impossible: no bus is connected to all
+    /// processors (the paper assumes at least one such bus exists).
+    NoBroadcastBus,
+}
+
+impl fmt::Display for BuildArchitectureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildArchitectureError::NoComputationResource => {
+                write!(f, "architecture has no processor or hardware resource")
+            }
+            BuildArchitectureError::DuplicateName(name) => {
+                write!(f, "duplicate processing element name `{name}`")
+            }
+            BuildArchitectureError::NoBus => {
+                write!(f, "multiple processors but no bus to connect them")
+            }
+            BuildArchitectureError::NoBroadcastBus => {
+                write!(f, "no bus is connected to all processors, condition broadcast impossible")
+            }
+        }
+    }
+}
+
+impl Error for BuildArchitectureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let msgs = [
+            BuildArchitectureError::NoComputationResource.to_string(),
+            BuildArchitectureError::DuplicateName("pe1".into()).to_string(),
+            BuildArchitectureError::NoBus.to_string(),
+            BuildArchitectureError::NoBroadcastBus.to_string(),
+        ];
+        for msg in msgs {
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<BuildArchitectureError>();
+    }
+}

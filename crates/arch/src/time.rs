@@ -1,0 +1,181 @@
+//! Discrete time values used by the schedulers.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A discrete, non-negative instant or duration in abstract time units.
+///
+/// The paper works exclusively with integer execution and communication times
+/// (nanoseconds in the ATM example, abstract units elsewhere), so `Time` wraps
+/// a `u64`. All arithmetic is saturating: schedules of malformed inputs can
+/// never overflow silently, they simply peg at `Time::MAX`.
+///
+/// # Example
+///
+/// ```
+/// use cpg_arch::Time;
+///
+/// let start = Time::new(4);
+/// let exec = Time::new(12);
+/// assert_eq!(start + exec, Time::new(16));
+/// assert_eq!((start + exec).as_u64(), 16);
+/// assert!(Time::ZERO < start);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero instant (system activation reference).
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time; used as "never" / saturation value.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time value from raw units.
+    #[must_use]
+    pub const fn new(units: u64) -> Self {
+        Time(units)
+    }
+
+    /// Returns the raw number of time units.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition; never overflows.
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction; clamps at [`Time::ZERO`].
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two times.
+    #[must_use]
+    pub fn max(self, rhs: Time) -> Time {
+        Time(self.0.max(rhs.0))
+    }
+
+    /// Returns the smaller of two times.
+    #[must_use]
+    pub fn min(self, rhs: Time) -> Time {
+        Time(self.0.min(rhs.0))
+    }
+
+    /// `true` when this is the zero instant.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<u64> for Time {
+    fn from(units: u64) -> Self {
+        Time(units)
+    }
+}
+
+impl From<Time> for u64 {
+    fn from(value: Time) -> Self {
+        value.0
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+
+    fn add(self, rhs: Time) -> Time {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+
+    fn sub(self, rhs: Time) -> Time {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(&self.0.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_as_u64_round_trip() {
+        assert_eq!(Time::new(42).as_u64(), 42);
+        assert_eq!(u64::from(Time::from(7u64)), 7);
+    }
+
+    #[test]
+    fn zero_is_default_and_is_zero() {
+        assert_eq!(Time::default(), Time::ZERO);
+        assert!(Time::ZERO.is_zero());
+        assert!(!Time::new(1).is_zero());
+    }
+
+    #[test]
+    fn addition_is_saturating() {
+        assert_eq!(Time::new(3) + Time::new(4), Time::new(7));
+        assert_eq!(Time::MAX + Time::new(1), Time::MAX);
+        let mut t = Time::new(10);
+        t += Time::new(5);
+        assert_eq!(t, Time::new(15));
+    }
+
+    #[test]
+    fn subtraction_clamps_at_zero() {
+        assert_eq!(Time::new(10) - Time::new(4), Time::new(6));
+        assert_eq!(Time::new(4) - Time::new(10), Time::ZERO);
+        let mut t = Time::new(10);
+        t -= Time::new(3);
+        assert_eq!(t, Time::new(7));
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        assert!(Time::new(3) < Time::new(5));
+        assert_eq!(Time::new(3).max(Time::new(5)), Time::new(5));
+        assert_eq!(Time::new(3).min(Time::new(5)), Time::new(3));
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: Time = [1u64, 2, 3, 4].into_iter().map(Time::new).sum();
+        assert_eq!(total, Time::new(10));
+    }
+
+    #[test]
+    fn display_shows_raw_units() {
+        assert_eq!(Time::new(39).to_string(), "39");
+    }
+}

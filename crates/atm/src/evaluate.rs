@@ -1,0 +1,229 @@
+//! Worst-case-delay evaluation of the OAM block on candidate architectures
+//! (the experiment behind the paper's Table 2).
+
+use std::fmt;
+
+use cpg_arch::Time;
+use cpg_merge::{generate_schedule_table, MergeConfig, MergeResult};
+
+use crate::modes::{build_mode_graph, MappingStrategy, OamMode, BROADCAST_NS};
+use crate::platform::OamPlatform;
+
+/// The evaluation of one OAM mode on one platform: the schedule table is
+/// generated for every candidate process mapping and the best worst-case
+/// delay is kept, mirroring the paper's procedure of assigning processes to
+/// processors "taking into consideration the potential parallelism … and the
+/// amount of communication".
+#[derive(Debug, Clone)]
+pub struct OamEvaluation {
+    mode: OamMode,
+    platform: OamPlatform,
+    best_strategy: MappingStrategy,
+    best_delay: Time,
+    candidates: Vec<(MappingStrategy, Time)>,
+}
+
+impl OamEvaluation {
+    /// The evaluated mode.
+    #[must_use]
+    pub fn mode(&self) -> OamMode {
+        self.mode
+    }
+
+    /// The evaluated platform.
+    #[must_use]
+    pub fn platform(&self) -> &OamPlatform {
+        &self.platform
+    }
+
+    /// The worst-case delay of the best mapping (the value reported in
+    /// Table 2).
+    #[must_use]
+    pub fn delay(&self) -> Time {
+        self.best_delay
+    }
+
+    /// The mapping strategy that achieved the best worst-case delay.
+    #[must_use]
+    pub fn strategy(&self) -> MappingStrategy {
+        self.best_strategy
+    }
+
+    /// The worst-case delay of every candidate mapping.
+    #[must_use]
+    pub fn candidates(&self) -> &[(MappingStrategy, Time)] {
+        &self.candidates
+    }
+}
+
+impl fmt::Display for OamEvaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {} ns ({:?})",
+            self.mode,
+            self.platform.name(),
+            self.best_delay,
+            self.best_strategy
+        )
+    }
+}
+
+/// Generates the schedule table of one OAM mode on one platform for a fixed
+/// mapping strategy.
+#[must_use]
+pub fn schedule_mode(
+    mode: OamMode,
+    platform: &OamPlatform,
+    strategy: MappingStrategy,
+) -> MergeResult {
+    let arch = platform.architecture();
+    let cpg = build_mode_graph(mode, platform, &arch, strategy);
+    generate_schedule_table(&cpg, &arch, &MergeConfig::new(Time::new(BROADCAST_NS)))
+}
+
+/// Evaluates one OAM mode on one platform: tries every mapping strategy and
+/// keeps the best worst-case delay.
+#[must_use]
+pub fn evaluate(mode: OamMode, platform: &OamPlatform) -> OamEvaluation {
+    let strategies: Vec<MappingStrategy> = if platform.processors().len() > 1 {
+        MappingStrategy::all().to_vec()
+    } else {
+        vec![MappingStrategy::SingleProcessor]
+    };
+    let mut candidates = Vec::with_capacity(strategies.len());
+    for strategy in strategies {
+        let result = schedule_mode(mode, platform, strategy);
+        candidates.push((strategy, result.delta_max()));
+    }
+    let &(best_strategy, best_delay) = candidates
+        .iter()
+        .min_by_key(|&&(_, delay)| delay)
+        .expect("at least one mapping strategy is evaluated");
+    OamEvaluation {
+        mode,
+        platform: platform.clone(),
+        best_strategy,
+        best_delay,
+        candidates,
+    }
+}
+
+/// Evaluates every mode on every platform of the paper's Table 2 and returns
+/// the rows in `(mode, platform, delay)` order.
+#[must_use]
+pub fn table2() -> Vec<OamEvaluation> {
+    let mut rows = Vec::new();
+    for mode in OamMode::all() {
+        for platform in OamPlatform::paper_platforms() {
+            rows.push(evaluate(mode, &platform));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::CpuModel;
+
+    fn p(cpus: Vec<CpuModel>, memories: usize) -> OamPlatform {
+        OamPlatform::new(cpus, memories)
+    }
+
+    #[test]
+    fn schedule_tables_of_all_modes_are_correct() {
+        let platform = p(vec![CpuModel::I486, CpuModel::Pentium], 2);
+        for mode in OamMode::all() {
+            for strategy in MappingStrategy::all() {
+                let result = schedule_mode(mode, &platform, strategy);
+                let arch = platform.architecture();
+                let cpg = build_mode_graph(mode, &platform, &arch, strategy);
+                result.table().verify(&cpg, result.tracks()).unwrap();
+                assert_eq!(result.stats().unrepaired_conflicts, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn faster_processor_always_reduces_the_delay() {
+        for mode in OamMode::all() {
+            for memories in [1, 2] {
+                let slow = evaluate(mode, &p(vec![CpuModel::I486], memories));
+                let fast = evaluate(mode, &p(vec![CpuModel::Pentium], memories));
+                assert!(
+                    fast.delay() < slow.delay(),
+                    "{mode}: Pentium {} should beat 486 {}",
+                    fast.delay(),
+                    slow.delay()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mode2_is_insensitive_to_processor_count_and_memory() {
+        // Mode 2 has no potential parallelism: adding a processor or a memory
+        // module never changes its delay (Table 2, row 2).
+        let single = evaluate(OamMode::FaultManagement, &p(vec![CpuModel::I486], 1));
+        for platform in [
+            p(vec![CpuModel::I486], 2),
+            p(vec![CpuModel::I486, CpuModel::I486], 1),
+            p(vec![CpuModel::I486, CpuModel::I486], 2),
+        ] {
+            let other = evaluate(OamMode::FaultManagement, &platform);
+            assert_eq!(other.delay(), single.delay(), "{}", platform.name());
+        }
+    }
+
+    #[test]
+    fn mode1_benefits_from_a_second_processor() {
+        // Table 2, row 1: using two processors always improves mode 1.
+        for cpu in [CpuModel::I486, CpuModel::Pentium] {
+            let one = evaluate(OamMode::Monitoring, &p(vec![cpu], 1));
+            let two = evaluate(OamMode::Monitoring, &p(vec![cpu, cpu], 1));
+            assert!(
+                two.delay() < one.delay(),
+                "2x{cpu:?} {} should beat 1x{cpu:?} {}",
+                two.delay(),
+                one.delay()
+            );
+        }
+    }
+
+    #[test]
+    fn second_processor_never_hurts() {
+        // The evaluation keeps the single-processor mapping when spreading
+        // work does not pay off, so adding hardware can never increase the
+        // delay.
+        for mode in OamMode::all() {
+            for cpu in [CpuModel::I486, CpuModel::Pentium] {
+                let one = evaluate(mode, &p(vec![cpu], 1));
+                let two = evaluate(mode, &p(vec![cpu, cpu], 1));
+                assert!(two.delay() <= one.delay(), "{mode} 2x{cpu:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_platform_is_between_the_homogeneous_ones() {
+        let mode = OamMode::Monitoring;
+        let slow = evaluate(mode, &p(vec![CpuModel::I486, CpuModel::I486], 1));
+        let fast = evaluate(mode, &p(vec![CpuModel::Pentium, CpuModel::Pentium], 1));
+        let mixed = evaluate(mode, &p(vec![CpuModel::I486, CpuModel::Pentium], 1));
+        assert!(mixed.delay() <= slow.delay());
+        assert!(mixed.delay() >= fast.delay());
+    }
+
+    #[test]
+    fn table2_produces_thirty_rows() {
+        // 3 modes x 10 platforms. This is the full experiment, so it runs the
+        // merge 30+ times; keep assertions coarse.
+        let rows = table2();
+        assert_eq!(rows.len(), 30);
+        for row in &rows {
+            assert!(row.delay() > Time::ZERO);
+            assert!(!row.candidates().is_empty());
+        }
+    }
+}

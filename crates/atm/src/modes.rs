@@ -1,0 +1,500 @@
+//! The three operating modes of the OAM block, modelled as conditional
+//! process graphs.
+//!
+//! The paper specifies the functionality of the OAM block (F4 level of the
+//! ATM protocol layer) as interacting VHDL processes and identifies three
+//! independent operating modes with the following published characteristics
+//! (Table 2):
+//!
+//! | mode | processes | alternative paths | potential parallelism |
+//! |------|-----------|-------------------|-----------------------|
+//! | 1    | 32        | 6                 | yes, incl. parallel memory accesses |
+//! | 2    | 23        | 3                 | none (purely sequential) |
+//! | 3    | 42        | 8                 | yes, but communication heavy |
+//!
+//! The original VHDL models are not public, so the graphs built here are
+//! synthetic reconstructions with exactly those characteristics; execution
+//! times are base 486 values in nanoseconds, scaled per processor model.
+
+use cpg::{expand_communications, BusPolicy, Cpg, CpgBuilder, ProcessId};
+use cpg_arch::{Architecture, PeId, Time};
+
+use crate::platform::OamPlatform;
+
+/// Communication time (ns) charged when two processes mapped to different
+/// processing elements exchange data over the internal bus.
+const COMM_NS: u64 = 60;
+/// Communication time (ns) of the heavy data transfers of mode 3.
+const HEAVY_COMM_NS: u64 = 170;
+/// Time (ns) of one memory access (independent of the processor model).
+const MEMORY_ACCESS_NS: u64 = 150;
+/// Condition broadcast time `τ0` (ns) on the internal bus.
+pub const BROADCAST_NS: u64 = 20;
+
+/// One of the three operating modes of the OAM block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OamMode {
+    /// Mode 1: cell monitoring with fork/join parallelism and parallel
+    /// memory accesses (32 processes, 6 alternative paths).
+    Monitoring,
+    /// Mode 2: fault-management bookkeeping, a purely sequential decision
+    /// chain (23 processes, 3 alternative paths).
+    FaultManagement,
+    /// Mode 3: performance reporting with communication-heavy parallel
+    /// sections (42 processes, 8 alternative paths).
+    PerformanceReporting,
+}
+
+impl OamMode {
+    /// All three modes, in the order of the paper's Table 2.
+    #[must_use]
+    pub fn all() -> [OamMode; 3] {
+        [
+            OamMode::Monitoring,
+            OamMode::FaultManagement,
+            OamMode::PerformanceReporting,
+        ]
+    }
+
+    /// The mode number used by the paper (1, 2 or 3).
+    #[must_use]
+    pub fn number(self) -> usize {
+        match self {
+            OamMode::Monitoring => 1,
+            OamMode::FaultManagement => 2,
+            OamMode::PerformanceReporting => 3,
+        }
+    }
+
+    /// Number of processes of the published model.
+    #[must_use]
+    pub fn process_count(self) -> usize {
+        match self {
+            OamMode::Monitoring => 32,
+            OamMode::FaultManagement => 23,
+            OamMode::PerformanceReporting => 42,
+        }
+    }
+
+    /// Number of alternative paths of the published model.
+    #[must_use]
+    pub fn path_count(self) -> usize {
+        match self {
+            OamMode::Monitoring => 6,
+            OamMode::FaultManagement => 3,
+            OamMode::PerformanceReporting => 8,
+        }
+    }
+}
+
+impl std::fmt::Display for OamMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mode {}", self.number())
+    }
+}
+
+/// How the OAM processes are assigned to the processors of the platform.
+///
+/// The paper assigns processes "taking into consideration the potential
+/// parallelism of the process graphs and the amount of communication between
+/// processes"; the evaluation of this crate tries both strategies and keeps
+/// the better one, which reproduces that design decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingStrategy {
+    /// Map every computation process to the (fastest) first processor;
+    /// memory accesses still go to the memory modules.
+    SingleProcessor,
+    /// Distribute parallel sections over the available processors.
+    Balanced,
+}
+
+impl MappingStrategy {
+    /// Both strategies.
+    #[must_use]
+    pub fn all() -> [MappingStrategy; 2] {
+        [MappingStrategy::SingleProcessor, MappingStrategy::Balanced]
+    }
+}
+
+/// Builds the conditional process graph of one OAM mode for a platform and a
+/// mapping strategy. The returned graph already contains its communication
+/// processes (every transfer uses the internal bus).
+///
+/// # Example
+///
+/// ```
+/// use cpg::enumerate_tracks;
+/// use cpg_atm::{build_mode_graph, CpuModel, MappingStrategy, OamMode, OamPlatform};
+///
+/// let platform = OamPlatform::new(vec![CpuModel::I486], 1);
+/// let arch = platform.architecture();
+/// let cpg = build_mode_graph(OamMode::FaultManagement, &platform, &arch, MappingStrategy::SingleProcessor);
+/// assert_eq!(cpg.ordinary_processes().count(), 23);
+/// assert_eq!(enumerate_tracks(&cpg).len(), 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `arch` was not produced by [`OamPlatform::architecture`] for the
+/// same platform.
+#[must_use]
+pub fn build_mode_graph(
+    mode: OamMode,
+    platform: &OamPlatform,
+    arch: &Architecture,
+    strategy: MappingStrategy,
+) -> Cpg {
+    let mut ctx = Ctx::new(platform, arch, strategy);
+    match mode {
+        OamMode::Monitoring => mode1(&mut ctx),
+        OamMode::FaultManagement => mode2(&mut ctx),
+        OamMode::PerformanceReporting => mode3(&mut ctx),
+    }
+    let cpg = ctx
+        .builder
+        .build(arch)
+        .expect("OAM mode graphs are structurally valid");
+    expand_communications(&cpg, arch, BusPolicy::FirstBus)
+        .expect("OAM mode graphs expand cleanly")
+}
+
+struct Ctx<'a> {
+    builder: CpgBuilder,
+    platform: &'a OamPlatform,
+    strategy: MappingStrategy,
+    cpus: Vec<PeId>,
+    memories: Vec<PeId>,
+    created: usize,
+    memory_round_robin: usize,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(platform: &'a OamPlatform, arch: &Architecture, strategy: MappingStrategy) -> Self {
+        let cpus: Vec<PeId> = (0..platform.processors().len())
+            .map(|i| {
+                arch.pe_by_name(&format!("cpu{i}"))
+                    .expect("architecture must come from OamPlatform::architecture")
+            })
+            .collect();
+        let memories: Vec<PeId> = (0..platform.memory_modules())
+            .map(|m| {
+                arch.pe_by_name(&format!("mem{m}"))
+                    .expect("architecture must come from OamPlatform::architecture")
+            })
+            .collect();
+        Ctx {
+            builder: CpgBuilder::new(),
+            platform,
+            strategy,
+            cpus,
+            memories,
+            created: 0,
+            memory_round_robin: 0,
+        }
+    }
+
+    /// A computation process with a base (486) execution time, mapped
+    /// according to the strategy: `lane` selects the processor of parallel
+    /// sections.
+    fn compute(&mut self, base_ns: u64, lane: usize) -> ProcessId {
+        let cpu_index = match self.strategy {
+            MappingStrategy::SingleProcessor => 0,
+            MappingStrategy::Balanced => lane % self.cpus.len(),
+        };
+        let model = self.platform.processors()[cpu_index];
+        let name = format!("op{}", self.created);
+        self.created += 1;
+        self.builder
+            .process(name, Time::new(model.scale(base_ns)), self.cpus[cpu_index])
+    }
+
+    /// A memory-access process, mapped round-robin over the memory modules;
+    /// its duration does not depend on the processor model.
+    fn memory_access(&mut self) -> ProcessId {
+        let module = self.memories[self.memory_round_robin % self.memories.len()];
+        self.memory_round_robin += 1;
+        let name = format!("mem_access{}", self.created);
+        self.created += 1;
+        self.builder
+            .process(name, Time::new(MEMORY_ACCESS_NS), module)
+    }
+
+    fn seq(&mut self, from: ProcessId, to: ProcessId, comm_ns: u64) {
+        self.builder.simple_edge(from, to, Time::new(comm_ns));
+    }
+
+    /// A sequential chain of `n` computation processes.
+    fn chain(&mut self, n: usize, base_ns: u64, lane: usize, comm_ns: u64) -> (ProcessId, ProcessId) {
+        assert!(n > 0);
+        let first = self.compute(base_ns, lane);
+        let mut last = first;
+        for _ in 1..n {
+            let next = self.compute(base_ns, lane);
+            self.seq(last, next, comm_ns);
+            last = next;
+        }
+        (first, last)
+    }
+
+    /// A chain of three processes whose middle element is a memory access.
+    fn chain_with_memory(&mut self, base_ns: u64, lane: usize) -> (ProcessId, ProcessId) {
+        let first = self.compute(base_ns, lane);
+        let access = self.memory_access();
+        let last = self.compute(base_ns, lane);
+        self.seq(first, access, COMM_NS);
+        self.seq(access, last, COMM_NS);
+        (first, last)
+    }
+}
+
+/// Mode 1 — 32 processes, 6 alternative paths, fork/join parallelism and
+/// parallel memory accesses.
+fn mode1(ctx: &mut Ctx<'_>) {
+    // Stage 1: header classification (condition a, 2 alternatives).
+    let a = ctx.builder.condition("a");
+    let d1 = ctx.compute(120, 0);
+
+    let fork1 = ctx.compute(80, 0);
+    ctx.builder
+        .conditional_edge(d1, fork1, a.is_true(), Time::new(COMM_NS));
+    let (a1_first, a1_last) = ctx.chain_with_memory(320, 0);
+    let (a2_first, a2_last) = ctx.chain_with_memory(300, 1);
+    ctx.seq(fork1, a1_first, COMM_NS);
+    ctx.seq(fork1, a2_first, COMM_NS);
+    let gather1 = ctx.compute(90, 0);
+    ctx.seq(a1_last, gather1, COMM_NS);
+    ctx.seq(a2_last, gather1, COMM_NS);
+
+    let (b_first, b_last) = ctx.chain(4, 190, 0, COMM_NS);
+    ctx.builder
+        .conditional_edge(d1, b_first, a.is_false(), Time::new(COMM_NS));
+
+    let join1 = ctx.compute(80, 0);
+    ctx.builder.mark_conjunction(join1);
+    ctx.seq(gather1, join1, COMM_NS);
+    ctx.seq(b_last, join1, COMM_NS);
+
+    // Stage 2: cell accounting (condition b with a nested condition c,
+    // 3 alternatives).
+    let b = ctx.builder.condition("b");
+    let c = ctx.builder.condition("c");
+    let d2 = ctx.compute(120, 0);
+    ctx.seq(join1, d2, COMM_NS);
+
+    let fork2 = ctx.compute(80, 0);
+    ctx.builder
+        .conditional_edge(d2, fork2, b.is_true(), Time::new(COMM_NS));
+    let (c1_first, c1_last) = ctx.chain_with_memory(320, 0);
+    let (c2_first, c2_last) = ctx.chain_with_memory(300, 1);
+    ctx.seq(fork2, c1_first, COMM_NS);
+    ctx.seq(fork2, c2_first, COMM_NS);
+    let gather2 = ctx.compute(90, 0);
+    ctx.seq(c1_last, gather2, COMM_NS);
+    ctx.seq(c2_last, gather2, COMM_NS);
+
+    let d3 = ctx.compute(120, 0);
+    ctx.builder
+        .conditional_edge(d2, d3, b.is_false(), Time::new(COMM_NS));
+    let (e_first, e_last) = ctx.chain(3, 200, 0, COMM_NS);
+    ctx.builder
+        .conditional_edge(d3, e_first, c.is_true(), Time::new(COMM_NS));
+    let (f_first, f_last) = ctx.chain(2, 250, 0, COMM_NS);
+    ctx.builder
+        .conditional_edge(d3, f_first, c.is_false(), Time::new(COMM_NS));
+    let join3 = ctx.compute(80, 0);
+    ctx.builder.mark_conjunction(join3);
+    ctx.seq(e_last, join3, COMM_NS);
+    ctx.seq(f_last, join3, COMM_NS);
+
+    let join2 = ctx.compute(80, 0);
+    ctx.builder.mark_conjunction(join2);
+    ctx.seq(gather2, join2, COMM_NS);
+    ctx.seq(join3, join2, COMM_NS);
+
+    // Final report towards the management system.
+    let report = ctx.compute(100, 0);
+    ctx.seq(join2, report, COMM_NS);
+}
+
+/// Mode 2 — 23 processes, 3 alternative paths, no potential parallelism.
+fn mode2(ctx: &mut Ctx<'_>) {
+    let a = ctx.builder.condition("a");
+    let b = ctx.builder.condition("b");
+
+    let d1 = ctx.compute(150, 0);
+    let (a_first, a_last) = ctx.chain(8, 180, 0, 0);
+    ctx.builder
+        .conditional_edge(d1, a_first, a.is_true(), Time::new(COMM_NS));
+
+    let d2 = ctx.compute(150, 0);
+    ctx.builder
+        .conditional_edge(d1, d2, a.is_false(), Time::new(COMM_NS));
+    let (b_first, b_last) = ctx.chain(6, 200, 0, 0);
+    ctx.builder
+        .conditional_edge(d2, b_first, b.is_true(), Time::new(COMM_NS));
+    let (c_first, c_last) = ctx.chain(5, 220, 0, 0);
+    ctx.builder
+        .conditional_edge(d2, c_first, b.is_false(), Time::new(COMM_NS));
+
+    let inner_join = ctx.compute(100, 0);
+    ctx.builder.mark_conjunction(inner_join);
+    ctx.seq(b_last, inner_join, 0);
+    ctx.seq(c_last, inner_join, 0);
+
+    let outer_join = ctx.compute(100, 0);
+    ctx.builder.mark_conjunction(outer_join);
+    ctx.seq(a_last, outer_join, 0);
+    ctx.seq(inner_join, outer_join, 0);
+}
+
+/// Mode 3 — 42 processes, 8 alternative paths, parallel sections with heavy
+/// communication.
+fn mode3(ctx: &mut Ctx<'_>) {
+    let init = ctx.compute(100, 0);
+    let mut previous = init;
+    for stage in 0..3 {
+        let cond = ctx.builder.condition(format!("s{stage}"));
+        let d = ctx.compute(130, 0);
+        ctx.seq(previous, d, COMM_NS);
+
+        // True branch: two parallel chains with heavy data exchange.
+        let fork = ctx.compute(70, 0);
+        ctx.builder
+            .conditional_edge(d, fork, cond.is_true(), Time::new(HEAVY_COMM_NS));
+        let (p_first, p_last) = ctx.chain(3, 220, 0, HEAVY_COMM_NS);
+        let (q_first, q_last) = ctx.chain(3, 220, 1, HEAVY_COMM_NS);
+        ctx.seq(fork, p_first, HEAVY_COMM_NS);
+        ctx.seq(fork, q_first, HEAVY_COMM_NS);
+        let gather = ctx.compute(90, 0);
+        ctx.seq(p_last, gather, HEAVY_COMM_NS);
+        ctx.seq(q_last, gather, HEAVY_COMM_NS);
+
+        // False branch: a sequential bookkeeping chain.
+        let (r_first, r_last) = ctx.chain(3, 240, 0, COMM_NS);
+        ctx.builder
+            .conditional_edge(d, r_first, cond.is_false(), Time::new(COMM_NS));
+
+        let join = ctx.compute(80, 0);
+        ctx.builder.mark_conjunction(join);
+        ctx.seq(gather, join, COMM_NS);
+        ctx.seq(r_last, join, COMM_NS);
+        previous = join;
+    }
+    let summarize = ctx.compute(150, 0);
+    ctx.seq(previous, summarize, COMM_NS);
+    let emit = ctx.compute(100, 0);
+    ctx.seq(summarize, emit, COMM_NS);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::CpuModel;
+    use cpg::enumerate_tracks;
+
+    fn platform_1p() -> OamPlatform {
+        OamPlatform::new(vec![CpuModel::I486], 1)
+    }
+
+    fn platform_2p2m() -> OamPlatform {
+        OamPlatform::new(vec![CpuModel::I486, CpuModel::I486], 2)
+    }
+
+    #[test]
+    fn modes_have_the_published_process_and_path_counts() {
+        for platform in [platform_1p(), platform_2p2m()] {
+            let arch = platform.architecture();
+            for mode in OamMode::all() {
+                for strategy in MappingStrategy::all() {
+                    let cpg = build_mode_graph(mode, &platform, &arch, strategy);
+                    assert_eq!(
+                        cpg.ordinary_processes().count(),
+                        mode.process_count(),
+                        "{mode} on {platform} with {strategy:?}"
+                    );
+                    assert_eq!(
+                        enumerate_tracks(&cpg).len(),
+                        mode.path_count(),
+                        "{mode} on {platform} with {strategy:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mode_metadata_matches_the_paper() {
+        assert_eq!(OamMode::Monitoring.number(), 1);
+        assert_eq!(OamMode::FaultManagement.process_count(), 23);
+        assert_eq!(OamMode::PerformanceReporting.path_count(), 8);
+        assert_eq!(OamMode::all().len(), 3);
+        assert_eq!(OamMode::Monitoring.to_string(), "mode 1");
+    }
+
+    #[test]
+    fn only_mode1_uses_the_memory_modules() {
+        let platform = platform_2p2m();
+        let arch = platform.architecture();
+        let uses_memory = |mode: OamMode| {
+            let cpg = build_mode_graph(mode, &platform, &arch, MappingStrategy::Balanced);
+            let any = cpg.ordinary_processes().any(|p| {
+                let pe = cpg.mapping(p).unwrap();
+                arch.pe(pe).name().starts_with("mem")
+            });
+            any
+        };
+        assert!(uses_memory(OamMode::Monitoring));
+        assert!(!uses_memory(OamMode::FaultManagement));
+        assert!(!uses_memory(OamMode::PerformanceReporting));
+    }
+
+    #[test]
+    fn balanced_mapping_uses_both_processors_in_parallel_modes() {
+        let platform = platform_2p2m();
+        let arch = platform.architecture();
+        let cpg = build_mode_graph(
+            OamMode::Monitoring,
+            &platform,
+            &arch,
+            MappingStrategy::Balanced,
+        );
+        let cpus_used: std::collections::HashSet<_> = cpg
+            .ordinary_processes()
+            .map(|p| cpg.mapping(p).unwrap())
+            .filter(|pe| arch.pe(*pe).name().starts_with("cpu"))
+            .collect();
+        assert_eq!(cpus_used.len(), 2);
+
+        let single = build_mode_graph(
+            OamMode::Monitoring,
+            &platform,
+            &arch,
+            MappingStrategy::SingleProcessor,
+        );
+        let cpus_used: std::collections::HashSet<_> = single
+            .ordinary_processes()
+            .map(|p| single.mapping(p).unwrap())
+            .filter(|pe| arch.pe(*pe).name().starts_with("cpu"))
+            .collect();
+        assert_eq!(cpus_used.len(), 1);
+    }
+
+    #[test]
+    fn pentium_graphs_have_shorter_execution_times() {
+        let slow = OamPlatform::new(vec![CpuModel::I486], 1);
+        let fast = OamPlatform::new(vec![CpuModel::Pentium], 1);
+        let slow_cpg = build_mode_graph(
+            OamMode::FaultManagement,
+            &slow,
+            &slow.architecture(),
+            MappingStrategy::SingleProcessor,
+        );
+        let fast_cpg = build_mode_graph(
+            OamMode::FaultManagement,
+            &fast,
+            &fast.architecture(),
+            MappingStrategy::SingleProcessor,
+        );
+        assert!(fast_cpg.total_execution_time() < slow_cpg.total_execution_time());
+    }
+}

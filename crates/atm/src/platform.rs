@@ -1,0 +1,237 @@
+//! Implementation architectures of the OAM block.
+//!
+//! The paper evaluates the OAM block on architectures built from one or two
+//! processors (486DX2/80 or Pentium/120), one or two memory modules and an
+//! internal bus (Fig. 7b and Table 2). Memory modules are exclusive resources
+//! accessed by dedicated memory-access processes; we model them as additional
+//! sequential processing elements so that accesses to the same module
+//! serialize while accesses to different modules overlap.
+
+use std::fmt;
+
+use cpg_arch::Architecture;
+
+/// A processor model of the OAM experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuModel {
+    /// Intel 486DX2 at 80 MHz (the slow processor of the paper).
+    I486,
+    /// Intel Pentium at 120 MHz (the fast processor of the paper).
+    Pentium,
+}
+
+impl CpuModel {
+    /// Scales a base (486) execution time to this processor.
+    ///
+    /// The published mode-2 delays (1732 ns on the 486 versus 1167 ns on the
+    /// Pentium) give a speed ratio of roughly 0.67; computation processes are
+    /// scaled by that factor while communication and memory-access times are
+    /// architecture-independent.
+    #[must_use]
+    pub fn scale(self, base: u64) -> u64 {
+        match self {
+            CpuModel::I486 => base,
+            CpuModel::Pentium => ((base as f64) * 0.67).round().max(1.0) as u64,
+        }
+    }
+
+    /// Short label used in architecture names ("486" / "Pent").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CpuModel::I486 => "486",
+            CpuModel::Pentium => "Pent",
+        }
+    }
+}
+
+impl fmt::Display for CpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuModel::I486 => f.write_str("486DX2/80"),
+            CpuModel::Pentium => f.write_str("Pentium/120"),
+        }
+    }
+}
+
+/// One implementation architecture of the OAM block: its processors and the
+/// number of memory modules.
+///
+/// # Example
+///
+/// ```
+/// use cpg_atm::{CpuModel, OamPlatform};
+///
+/// let platform = OamPlatform::new(vec![CpuModel::I486, CpuModel::Pentium], 2);
+/// assert_eq!(platform.name(), "2P/2M (486+Pent)");
+/// assert_eq!(platform.processors().len(), 2);
+/// let arch = platform.architecture();
+/// assert_eq!(arch.processors().count(), 4); // 2 CPUs + 2 memory modules
+/// assert_eq!(arch.buses().count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OamPlatform {
+    processors: Vec<CpuModel>,
+    memory_modules: usize,
+}
+
+impl OamPlatform {
+    /// Creates a platform from its processors and memory-module count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no processor or no memory module.
+    #[must_use]
+    pub fn new(processors: Vec<CpuModel>, memory_modules: usize) -> Self {
+        assert!(!processors.is_empty(), "a platform needs at least one processor");
+        assert!(memory_modules >= 1, "a platform needs at least one memory module");
+        // Put the faster processor first so that the mapping heuristics place
+        // the critical chains on it.
+        let mut processors = processors;
+        processors.sort_by_key(|cpu| match cpu {
+            CpuModel::Pentium => 0,
+            CpuModel::I486 => 1,
+        });
+        OamPlatform {
+            processors,
+            memory_modules,
+        }
+    }
+
+    /// The processors of the platform, fastest first.
+    #[must_use]
+    pub fn processors(&self) -> &[CpuModel] {
+        &self.processors
+    }
+
+    /// Number of memory modules.
+    #[must_use]
+    pub fn memory_modules(&self) -> usize {
+        self.memory_modules
+    }
+
+    /// The name used by the paper's Table 2, e.g. `1P/1M (486)` or
+    /// `2P/2M (2xPent)`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        let cpus = match self.processors.as_slice() {
+            [single] => single.label().to_owned(),
+            [a, b] if a == b => format!("2x{}", a.label()),
+            [a, b] => format!("{}+{}", b.label(), a.label()),
+            more => format!("{}P", more.len()),
+        };
+        format!(
+            "{}P/{}M ({})",
+            self.processors.len(),
+            self.memory_modules,
+            cpus
+        )
+    }
+
+    /// Builds the target architecture: the processors, the memory modules
+    /// (modelled as sequential processing elements) and the internal bus.
+    #[must_use]
+    pub fn architecture(&self) -> Architecture {
+        let mut builder = Architecture::builder();
+        for (i, _) in self.processors.iter().enumerate() {
+            builder = builder.processor(format!("cpu{i}"));
+        }
+        for m in 0..self.memory_modules {
+            builder = builder.processor(format!("mem{m}"));
+        }
+        builder = builder.bus("internal-bus");
+        builder
+            .build()
+            .expect("OAM platforms always form a valid architecture")
+    }
+
+    /// The ten architecture variants evaluated in the paper's Table 2:
+    /// 1P/1M, 1P/2M, 2P/1M and 2P/2M with 486 and Pentium processors (and
+    /// the mixed 486+Pentium case for the two-processor variants).
+    #[must_use]
+    pub fn paper_platforms() -> Vec<OamPlatform> {
+        use CpuModel::{Pentium, I486};
+        vec![
+            OamPlatform::new(vec![I486], 1),
+            OamPlatform::new(vec![Pentium], 1),
+            OamPlatform::new(vec![I486], 2),
+            OamPlatform::new(vec![Pentium], 2),
+            OamPlatform::new(vec![I486, I486], 1),
+            OamPlatform::new(vec![Pentium, Pentium], 1),
+            OamPlatform::new(vec![I486, Pentium], 1),
+            OamPlatform::new(vec![I486, I486], 2),
+            OamPlatform::new(vec![Pentium, Pentium], 2),
+            OamPlatform::new(vec![I486, Pentium], 2),
+        ]
+    }
+}
+
+impl fmt::Display for OamPlatform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pentium_is_faster_than_the_486() {
+        assert!(CpuModel::Pentium.scale(300) < CpuModel::I486.scale(300));
+        assert_eq!(CpuModel::I486.scale(100), 100);
+        assert_eq!(CpuModel::Pentium.scale(100), 67);
+        assert!(CpuModel::Pentium.scale(1) >= 1);
+    }
+
+    #[test]
+    fn platform_names_match_the_papers_notation() {
+        use CpuModel::{Pentium, I486};
+        assert_eq!(OamPlatform::new(vec![I486], 1).name(), "1P/1M (486)");
+        assert_eq!(OamPlatform::new(vec![Pentium], 2).name(), "1P/2M (Pent)");
+        assert_eq!(
+            OamPlatform::new(vec![I486, I486], 1).name(),
+            "2P/1M (2x486)"
+        );
+        assert_eq!(
+            OamPlatform::new(vec![I486, Pentium], 2).name(),
+            "2P/2M (486+Pent)"
+        );
+    }
+
+    #[test]
+    fn architecture_contains_cpus_memories_and_bus() {
+        let platform = OamPlatform::new(vec![CpuModel::I486, CpuModel::I486], 2);
+        let arch = platform.architecture();
+        assert_eq!(arch.processors().count(), 4);
+        assert_eq!(arch.buses().count(), 1);
+        assert!(arch.pe_by_name("cpu0").is_some());
+        assert!(arch.pe_by_name("cpu1").is_some());
+        assert!(arch.pe_by_name("mem1").is_some());
+    }
+
+    #[test]
+    fn paper_platforms_cover_the_ten_table_columns() {
+        let platforms = OamPlatform::paper_platforms();
+        assert_eq!(platforms.len(), 10);
+        let names: Vec<String> = platforms.iter().map(OamPlatform::name).collect();
+        assert!(names.contains(&"1P/1M (486)".to_owned()));
+        assert!(names.contains(&"2P/2M (2xPent)".to_owned()));
+        assert!(names.contains(&"2P/1M (486+Pent)".to_owned()));
+        // All names are distinct.
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn empty_platform_is_rejected() {
+        let _ = OamPlatform::new(vec![], 1);
+    }
+
+    #[test]
+    fn display_uses_the_name() {
+        let platform = OamPlatform::new(vec![CpuModel::Pentium], 1);
+        assert_eq!(platform.to_string(), platform.name());
+    }
+}

@@ -1,0 +1,101 @@
+//! Cross-cutting properties of the Table 2 reproduction that hold across the
+//! whole platform space (complementing the per-finding unit tests of the
+//! crate).
+
+use cpg_atm::{evaluate, schedule_mode, CpuModel, MappingStrategy, OamMode, OamPlatform};
+use cpg_sim::Simulator;
+
+#[test]
+fn mode_delays_are_ordered_like_their_workload_sizes() {
+    // Mode 3 (42 processes) is the heaviest, mode 2 (23 processes, fully
+    // sequential but short chains) the lightest — on every platform.
+    for platform in OamPlatform::paper_platforms() {
+        let mode1 = evaluate(OamMode::Monitoring, &platform).delay();
+        let mode2 = evaluate(OamMode::FaultManagement, &platform).delay();
+        let mode3 = evaluate(OamMode::PerformanceReporting, &platform).delay();
+        assert!(mode3 > mode1, "{}", platform.name());
+        assert!(mode1 > mode2, "{}", platform.name());
+    }
+}
+
+#[test]
+fn single_processor_platforms_always_use_the_single_processor_mapping() {
+    for cpu in [CpuModel::I486, CpuModel::Pentium] {
+        for memories in [1, 2] {
+            let platform = OamPlatform::new(vec![cpu], memories);
+            for mode in OamMode::all() {
+                let evaluation = evaluate(mode, &platform);
+                assert_eq!(evaluation.strategy(), MappingStrategy::SingleProcessor);
+                assert_eq!(evaluation.candidates().len(), 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn two_processor_platforms_consider_both_mappings() {
+    let platform = OamPlatform::new(vec![CpuModel::I486, CpuModel::I486], 1);
+    for mode in OamMode::all() {
+        let evaluation = evaluate(mode, &platform);
+        assert_eq!(evaluation.candidates().len(), 2);
+        // The reported delay is the minimum over the candidates.
+        let min = evaluation
+            .candidates()
+            .iter()
+            .map(|&(_, delay)| delay)
+            .min()
+            .unwrap();
+        assert_eq!(evaluation.delay(), min);
+    }
+}
+
+#[test]
+fn oam_schedule_tables_execute_cleanly_for_every_mode_and_platform() {
+    // End-to-end validation of the Table 2 pipeline: the generated tables are
+    // simulated for every combination of condition values on a representative
+    // subset of platforms.
+    let platforms = [
+        OamPlatform::new(vec![CpuModel::I486], 1),
+        OamPlatform::new(vec![CpuModel::Pentium, CpuModel::Pentium], 2),
+        OamPlatform::new(vec![CpuModel::I486, CpuModel::Pentium], 1),
+    ];
+    for platform in &platforms {
+        let arch = platform.architecture();
+        for mode in OamMode::all() {
+            for strategy in MappingStrategy::all() {
+                let cpg = cpg_atm::build_mode_graph(mode, platform, &arch, strategy);
+                let result = schedule_mode(mode, platform, strategy);
+                let simulator = Simulator::new(
+                    &cpg,
+                    &arch,
+                    result.table(),
+                    cpg_arch::Time::new(cpg_atm::BROADCAST_NS),
+                );
+                for report in simulator.run_all(result.tracks()) {
+                    assert!(
+                        report.is_ok(),
+                        "{mode} on {} ({strategy:?}): {:?}",
+                        platform.name(),
+                        report.violations()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn memory_modules_never_increase_any_delay() {
+    for mode in OamMode::all() {
+        for cpus in [
+            vec![CpuModel::I486],
+            vec![CpuModel::Pentium],
+            vec![CpuModel::I486, CpuModel::I486],
+            vec![CpuModel::Pentium, CpuModel::Pentium],
+        ] {
+            let one = evaluate(mode, &OamPlatform::new(cpus.clone(), 1)).delay();
+            let two = evaluate(mode, &OamPlatform::new(cpus.clone(), 2)).delay();
+            assert!(two <= one, "{mode} with {cpus:?}: {two} > {one}");
+        }
+    }
+}

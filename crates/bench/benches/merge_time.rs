@@ -1,0 +1,34 @@
+//! Criterion benchmark behind the paper's Fig. 6: execution time of the
+//! schedule-merging (table generation) algorithm as a function of the number
+//! of merged schedules and of the graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpg_gen::{generate, GeneratorConfig};
+use cpg_merge::{generate_schedule_table, MergeConfig};
+
+fn merge_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_merging");
+    group.sample_size(10);
+    for &nodes in &[60usize, 80, 120] {
+        for &paths in &[10usize, 18, 32] {
+            let config = GeneratorConfig::new(nodes, paths)
+                .with_processors(4)
+                .with_buses(2)
+                .with_seed((nodes * 1000 + paths) as u64);
+            let system = generate(&config);
+            let merge_config = MergeConfig::new(system.broadcast_time());
+            group.bench_with_input(
+                BenchmarkId::new(format!("{nodes}_nodes"), paths),
+                &system,
+                |b, system| {
+                    b.iter(|| generate_schedule_table(system.cpg(), system.arch(), &merge_config))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, merge_time);
+criterion_main!(benches);

@@ -1,0 +1,194 @@
+//! Condition-oblivious baseline scheduler.
+//!
+//! The paper's contribution is to exploit the control flow captured by the
+//! conditional process graph. The natural baseline — what one obtains with a
+//! classical data-flow-only scheduler — is to ignore the conditions
+//! altogether: every process is assumed to execute on every activation of the
+//! system and is scheduled at a single, unconditional start time. The
+//! resulting table is trivially deterministic (one column, `true`), but its
+//! worst-case delay is pessimistic because mutually exclusive branches are
+//! serialized on shared resources.
+//!
+//! The benchmark harness compares this baseline against the schedule tables
+//! produced by [`generate_schedule_table`](crate::generate_schedule_table) to
+//! quantify the benefit of condition-aware scheduling.
+
+use std::collections::HashMap;
+
+use cpg::{enumerate_tracks, Cpg, CpgBuilder, Cube, ProcessId, ProcessKind};
+use cpg_arch::{Architecture, Time};
+use cpg_path_sched::{Job, ListScheduler, PathSchedule};
+use cpg_table::ScheduleTable;
+
+/// Result of the condition-oblivious baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    table: ScheduleTable,
+    schedule: PathSchedule,
+    delay: Time,
+}
+
+impl BaselineResult {
+    /// The single-column schedule table of the baseline.
+    #[must_use]
+    pub fn table(&self) -> &ScheduleTable {
+        &self.table
+    }
+
+    /// The underlying unconditional schedule (start times over the stripped,
+    /// condition-free copy of the graph).
+    #[must_use]
+    pub fn schedule(&self) -> &PathSchedule {
+        &self.schedule
+    }
+
+    /// The worst-case delay of the baseline: the completion time of its
+    /// unconditional schedule.
+    #[must_use]
+    pub fn delay(&self) -> Time {
+        self.delay
+    }
+}
+
+/// Schedules the graph while ignoring its control flow: every conditional
+/// edge is treated as a plain data-flow edge and every process is activated
+/// unconditionally.
+///
+/// The start times refer to the processes of `cpg` (identifiers are
+/// translated back from the internal condition-free copy), so the returned
+/// table can be compared entry by entry with the output of
+/// [`generate_schedule_table`](crate::generate_schedule_table).
+///
+/// # Panics
+///
+/// Panics if `cpg` was not produced by [`cpg::CpgBuilder`] /
+/// [`cpg::expand_communications`] (such graphs always rebuild cleanly).
+#[must_use]
+pub fn condition_oblivious_baseline(
+    cpg: &Cpg,
+    arch: &Architecture,
+    broadcast_time: Time,
+) -> BaselineResult {
+    // Rebuild the graph without conditions.
+    let mut builder = CpgBuilder::new();
+    let mut translated: HashMap<ProcessId, ProcessId> = HashMap::new();
+    let mut reverse: HashMap<ProcessId, ProcessId> = HashMap::new();
+    for id in cpg.process_ids() {
+        let process = cpg.process(id);
+        let new_id = match process.kind() {
+            ProcessKind::Ordinary => {
+                builder.process(
+                    process.name().to_owned(),
+                    process.exec_time(),
+                    process.mapping().expect("ordinary processes are mapped"),
+                )
+            }
+            ProcessKind::Communication => builder.communication(
+                process.name().to_owned(),
+                process.exec_time(),
+                process.mapping().expect("communication processes are mapped"),
+            ),
+            ProcessKind::Source | ProcessKind::Sink => continue,
+        };
+        translated.insert(id, new_id);
+        reverse.insert(new_id, id);
+    }
+    for edge in cpg.edges() {
+        let (Some(&from), Some(&to)) = (translated.get(&edge.from()), translated.get(&edge.to()))
+        else {
+            continue;
+        };
+        builder.simple_edge(from, to, edge.comm_time());
+    }
+    let stripped = builder
+        .build(arch)
+        .expect("stripping conditions from a valid graph keeps it valid");
+
+    let tracks = enumerate_tracks(&stripped);
+    let scheduler = ListScheduler::new(&stripped, arch, broadcast_time);
+    let schedule = scheduler.schedule_track(&tracks.tracks()[0]);
+    let delay = schedule.delay();
+
+    let mut table = ScheduleTable::new();
+    for sj in schedule.jobs() {
+        let Some(stripped_pid) = sj.job().as_process() else {
+            continue;
+        };
+        if stripped.process(stripped_pid).kind().is_dummy() {
+            continue;
+        }
+        let original = reverse[&stripped_pid];
+        table.set(Job::Process(original), Cube::top(), sj.start());
+    }
+    BaselineResult {
+        table,
+        schedule,
+        delay,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_schedule_table, MergeConfig};
+    use cpg::examples;
+
+    #[test]
+    fn baseline_has_a_single_unconditional_column() {
+        let system = examples::fig1();
+        let baseline =
+            condition_oblivious_baseline(system.cpg(), system.arch(), system.broadcast_time());
+        assert_eq!(baseline.table().num_columns(), 1);
+        assert!(baseline.table().columns()[0].is_top());
+        // Every non-dummy process of the original graph has a row.
+        assert_eq!(
+            baseline.table().num_rows(),
+            system.cpg().schedulable_processes().count()
+        );
+        assert!(baseline.delay() > Time::ZERO);
+    }
+
+    #[test]
+    fn baseline_is_not_better_on_resource_contended_graphs() {
+        // On graphs whose alternative branches compete for the same
+        // processors, serializing everything (the baseline) costs more than
+        // the condition-aware table. (On very small graphs the baseline can
+        // win marginally because it needs no condition broadcasts.)
+        for system in [examples::sensor_actuator(), examples::fig1()] {
+            let merged = generate_schedule_table(
+                system.cpg(),
+                system.arch(),
+                &MergeConfig::new(system.broadcast_time()),
+            );
+            let baseline = condition_oblivious_baseline(
+                system.cpg(),
+                system.arch(),
+                system.broadcast_time(),
+            );
+            assert!(
+                baseline.delay() >= merged.delta_max(),
+                "baseline {} should not beat merged {}",
+                baseline.delay(),
+                merged.delta_max()
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_schedule_start_times_translate_back_to_the_original_graph() {
+        let system = examples::diamond();
+        let baseline =
+            condition_oblivious_baseline(system.cpg(), system.arch(), system.broadcast_time());
+        for pid in system.cpg().schedulable_processes() {
+            assert!(
+                baseline
+                    .table()
+                    .get(Job::Process(pid), &Cube::top())
+                    .is_some(),
+                "{} has no baseline start time",
+                system.cpg().process(pid).name()
+            );
+        }
+        assert!(baseline.schedule().delay() == baseline.delay());
+    }
+}

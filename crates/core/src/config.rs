@@ -1,0 +1,114 @@
+//! Configuration of the table-generation algorithm.
+
+use cpg_arch::Time;
+
+/// Rule used to pick the next current schedule after a back-step in the
+/// decision tree.
+///
+/// The paper always selects the reachable path with the largest delay
+/// ([`SelectionPolicy::LongestDelayFirst`]), so that perturbations are pushed
+/// into the short paths and the long paths keep their (near-)optimal
+/// schedules. The other policies exist for the ablation study of the benchmark
+/// harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum SelectionPolicy {
+    /// Give priority to the reachable alternative path whose individual
+    /// (optimal) schedule has the largest delay — the policy of the paper.
+    #[default]
+    LongestDelayFirst,
+    /// Give priority to the reachable path with the *smallest* delay
+    /// (ablation: shows why the paper's choice matters).
+    ShortestDelayFirst,
+    /// Take the first reachable path in enumeration order (ablation:
+    /// delay-oblivious merging).
+    EnumerationOrder,
+}
+
+/// Configuration of [`generate_schedule_table`](crate::generate_schedule_table).
+///
+/// # Example
+///
+/// ```
+/// use cpg_arch::Time;
+/// use cpg_merge::{MergeConfig, SelectionPolicy};
+///
+/// let config = MergeConfig::new(Time::new(1));
+/// assert_eq!(config.broadcast_time(), Time::new(1));
+/// assert_eq!(config.selection(), SelectionPolicy::LongestDelayFirst);
+///
+/// let ablation = MergeConfig::new(Time::new(2)).with_selection(SelectionPolicy::ShortestDelayFirst);
+/// assert_eq!(ablation.selection(), SelectionPolicy::ShortestDelayFirst);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeConfig {
+    broadcast_time: Time,
+    selection: SelectionPolicy,
+}
+
+impl MergeConfig {
+    /// Creates a configuration with the paper's default policy and the given
+    /// condition-broadcast time `τ0`.
+    #[must_use]
+    pub fn new(broadcast_time: Time) -> Self {
+        MergeConfig {
+            broadcast_time,
+            selection: SelectionPolicy::default(),
+        }
+    }
+
+    /// The condition-broadcast time `τ0`.
+    #[must_use]
+    pub fn broadcast_time(&self) -> Time {
+        self.broadcast_time
+    }
+
+    /// The path-selection policy used after back-steps.
+    #[must_use]
+    pub fn selection(&self) -> SelectionPolicy {
+        self.selection
+    }
+
+    /// Returns the configuration with a different path-selection policy.
+    #[must_use]
+    pub fn with_selection(mut self, selection: SelectionPolicy) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Returns the configuration with a different broadcast time.
+    #[must_use]
+    pub fn with_broadcast_time(mut self, broadcast_time: Time) -> Self {
+        self.broadcast_time = broadcast_time;
+        self
+    }
+}
+
+impl Default for MergeConfig {
+    /// The paper's example configuration: `τ0 = 1`, longest-delay-first
+    /// selection.
+    fn default() -> Self {
+        MergeConfig::new(Time::new(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_paper() {
+        let config = MergeConfig::default();
+        assert_eq!(config.broadcast_time(), Time::new(1));
+        assert_eq!(config.selection(), SelectionPolicy::LongestDelayFirst);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let config = MergeConfig::new(Time::new(5))
+            .with_selection(SelectionPolicy::EnumerationOrder)
+            .with_broadcast_time(Time::new(3));
+        assert_eq!(config.broadcast_time(), Time::new(3));
+        assert_eq!(config.selection(), SelectionPolicy::EnumerationOrder);
+    }
+}

@@ -1,0 +1,53 @@
+//! Schedule-table generation for conditional process graphs — the primary
+//! contribution of Eles, Kuchcinski, Peng, Doboli and Pop, *"Scheduling of
+//! Conditional Process Graphs for the Synthesis of Embedded Systems"*
+//! (DATE 1998).
+//!
+//! Given a conditional process graph mapped onto a heterogeneous architecture
+//! (processors, ASICs and shared buses), [`generate_schedule_table`] produces
+//! a [`ScheduleTable`](cpg_table::ScheduleTable) that a trivial distributed
+//! run-time scheduler can execute deterministically for *any* combination of
+//! condition values, while keeping the guaranteed worst-case delay `δ_max` as
+//! close as possible to the lower bound `δ_M` (the delay of the longest
+//! individual path).
+//!
+//! The algorithm merges the individually scheduled alternative paths along a
+//! binary decision tree explored depth-first, giving priority after every
+//! back-step to the reachable path with the largest delay, locking activation
+//! times that the table has already fixed, and repairing determinism conflicts
+//! by moving processes to previously tabled activation times (Theorem 2 of the
+//! paper).
+//!
+//! A condition-oblivious baseline ([`condition_oblivious_baseline`]) is also
+//! provided for comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use cpg::examples;
+//! use cpg_merge::{generate_schedule_table, MergeConfig};
+//!
+//! let system = examples::fig1();
+//! let result = generate_schedule_table(
+//!     system.cpg(),
+//!     system.arch(),
+//!     &MergeConfig::new(system.broadcast_time()),
+//! );
+//!
+//! println!("{}", result.table().render(system.cpg()));
+//! assert!(result.delta_max() >= result.delta_m());
+//! assert!(result.overhead_percent() < 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod config;
+mod merge;
+mod result;
+
+pub use baseline::{condition_oblivious_baseline, BaselineResult};
+pub use config::{MergeConfig, SelectionPolicy};
+pub use merge::{generate_schedule_table, generate_schedule_table_for_tracks};
+pub use result::{MergeResult, MergeStats, MergeStep};

@@ -1,0 +1,190 @@
+//! Result of the table-generation (schedule merging) algorithm.
+
+use std::fmt;
+
+use cpg::{Cpg, CondId, Cube, TrackSet};
+use cpg_arch::Time;
+use cpg_path_sched::PathSchedule;
+use cpg_table::ScheduleTable;
+
+/// One decision-tree node visited during schedule merging: at this point of
+/// the traversal a disjunction process terminated and the value of a new
+/// condition became available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeStep {
+    /// The conditions decided before this node (the tree path to it).
+    pub decided: Cube,
+    /// The condition resolved at this node.
+    pub condition: CondId,
+    /// The completion time of the disjunction process in the schedule that
+    /// was current when the node was reached.
+    pub resolved_at: Time,
+    /// The label of the path whose schedule was current at this node.
+    pub current_path: Cube,
+    /// `true` when the node was entered through a back-step (the condition
+    /// took the value opposite to the current path's).
+    pub back_step: bool,
+}
+
+/// Counters describing the work done by the merge algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct MergeStats {
+    /// Number of decision-tree nodes visited.
+    pub tree_nodes: usize,
+    /// Number of schedule adjustments performed after back-steps.
+    pub adjustments: usize,
+    /// Number of activation-time conflicts repaired via the Theorem-2 loop.
+    pub conflicts_repaired: usize,
+    /// Number of conflicts that could not be repaired by moving the process
+    /// to a previously tabled activation time (0 for well-formed inputs; a
+    /// non-zero value indicates a requirement-2 violation in the output).
+    pub unrepaired_conflicts: usize,
+}
+
+/// The output of [`generate_schedule_table`](crate::generate_schedule_table).
+#[derive(Debug, Clone)]
+pub struct MergeResult {
+    pub(crate) table: ScheduleTable,
+    pub(crate) tracks: TrackSet,
+    pub(crate) path_schedules: Vec<PathSchedule>,
+    pub(crate) delta_m: Time,
+    pub(crate) delta_max: Time,
+    pub(crate) steps: Vec<MergeStep>,
+    pub(crate) stats: MergeStats,
+}
+
+impl MergeResult {
+    /// The generated schedule table.
+    #[must_use]
+    pub fn table(&self) -> &ScheduleTable {
+        &self.table
+    }
+
+    /// The alternative paths of the graph, in enumeration order.
+    #[must_use]
+    pub fn tracks(&self) -> &TrackSet {
+        &self.tracks
+    }
+
+    /// The individual (near-optimal) schedules of the alternative paths, in
+    /// the same order as [`MergeResult::tracks`].
+    #[must_use]
+    pub fn path_schedules(&self) -> &[PathSchedule] {
+        &self.path_schedules
+    }
+
+    /// The individual schedule of the path with the given label.
+    #[must_use]
+    pub fn path_schedule(&self, label: &Cube) -> Option<&PathSchedule> {
+        self.path_schedules.iter().find(|s| s.label() == *label)
+    }
+
+    /// `δ_M`: the delay of the longest individual path — the lower bound on
+    /// the worst-case delay of any schedule table.
+    #[must_use]
+    pub fn delta_m(&self) -> Time {
+        self.delta_m
+    }
+
+    /// `δ_max`: the worst-case delay guaranteed by the generated table.
+    #[must_use]
+    pub fn delta_max(&self) -> Time {
+        self.delta_max
+    }
+
+    /// The relative increase of the worst-case delay over the lower bound,
+    /// `(δ_max − δ_M) / δ_M`, in percent — the quality metric of the paper's
+    /// Fig. 5.
+    #[must_use]
+    pub fn overhead_percent(&self) -> f64 {
+        if self.delta_m.is_zero() {
+            return 0.0;
+        }
+        let dm = self.delta_m.as_u64() as f64;
+        let dmax = self.delta_max.as_u64() as f64;
+        (dmax - dm) / dm * 100.0
+    }
+
+    /// `true` when the table achieves the lower bound (`δ_max = δ_M`).
+    #[must_use]
+    pub fn is_zero_overhead(&self) -> bool {
+        self.delta_max == self.delta_m
+    }
+
+    /// The decision-tree nodes visited during merging, in visit order.
+    #[must_use]
+    pub fn steps(&self) -> &[MergeStep] {
+        &self.steps
+    }
+
+    /// Counters describing the work done by the algorithm.
+    #[must_use]
+    pub fn stats(&self) -> MergeStats {
+        self.stats
+    }
+
+    /// The delay of each alternative path under the *generated table* (as
+    /// opposed to its individual optimal schedule), in track order.
+    #[must_use]
+    pub fn table_delays(&self, cpg: &Cpg) -> Vec<(Cube, Time)> {
+        self.tracks
+            .iter()
+            .map(|t| (t.label(), self.table.track_delay(cpg, &t.label())))
+            .collect()
+    }
+}
+
+impl fmt::Display for MergeResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "merged {} paths: delta_M = {}, delta_max = {} (+{:.2}%)",
+            self.tracks.len(),
+            self.delta_m,
+            self.delta_max,
+            self.overhead_percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::enumerate_tracks;
+
+    #[test]
+    fn overhead_percent_is_relative_to_delta_m() {
+        let system = cpg::examples::diamond();
+        let tracks = enumerate_tracks(system.cpg());
+        let result = MergeResult {
+            table: ScheduleTable::new(),
+            tracks,
+            path_schedules: Vec::new(),
+            delta_m: Time::new(100),
+            delta_max: Time::new(107),
+            steps: Vec::new(),
+            stats: MergeStats::default(),
+        };
+        assert!((result.overhead_percent() - 7.0).abs() < 1e-9);
+        assert!(!result.is_zero_overhead());
+        assert!(result.to_string().contains("+7.00%"));
+    }
+
+    #[test]
+    fn zero_delta_m_gives_zero_overhead() {
+        let system = cpg::examples::diamond();
+        let tracks = enumerate_tracks(system.cpg());
+        let result = MergeResult {
+            table: ScheduleTable::new(),
+            tracks,
+            path_schedules: Vec::new(),
+            delta_m: Time::ZERO,
+            delta_max: Time::ZERO,
+            steps: Vec::new(),
+            stats: MergeStats::default(),
+        };
+        assert_eq!(result.overhead_percent(), 0.0);
+        assert!(result.is_zero_overhead());
+    }
+}

@@ -1,0 +1,160 @@
+//! Graphviz (DOT) export of conditional process graphs.
+//!
+//! The paper presents its example system as a drawing (Fig. 1); this module
+//! produces an equivalent drawing for any graph built with this library so
+//! that reconstructed or generated systems can be inspected visually:
+//! disjunction processes are drawn as diamonds, conjunction processes with a
+//! double border, communication processes as small dots, and conditional
+//! edges are labelled with their condition literal (dashed for the false
+//! branch).
+
+use std::fmt::Write as _;
+
+use cpg_arch::Architecture;
+
+use crate::graph::Cpg;
+use crate::process::ProcessKind;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// When `arch` is provided, processes are clustered by the processing element
+/// they are mapped to, mirroring the mapping table of the paper's Fig. 1.
+///
+/// # Example
+///
+/// ```
+/// use cpg::{examples, to_dot};
+///
+/// let system = examples::diamond();
+/// let dot = to_dot(system.cpg(), Some(system.arch()));
+/// assert!(dot.starts_with("digraph cpg {"));
+/// assert!(dot.contains("decide"));
+/// assert!(dot.contains("->"));
+/// ```
+#[must_use]
+pub fn to_dot(cpg: &Cpg, arch: Option<&Architecture>) -> String {
+    let mut out = String::from("digraph cpg {\n");
+    out.push_str("  rankdir=TB;\n  node [fontsize=10];\n");
+
+    let node_attrs = |id: crate::ProcessId| -> String {
+        let process = cpg.process(id);
+        let shape = if process.is_disjunction() {
+            "diamond"
+        } else if process.kind() == ProcessKind::Communication {
+            "point"
+        } else if process.kind().is_dummy() {
+            "plaintext"
+        } else {
+            "ellipse"
+        };
+        let peripheries = if process.is_conjunction() { 2 } else { 1 };
+        let label = if process.kind() == ProcessKind::Communication {
+            String::new()
+        } else {
+            format!("{}\\nt={}", process.name(), process.exec_time())
+        };
+        format!("shape={shape}, peripheries={peripheries}, label=\"{label}\"")
+    };
+
+    match arch {
+        Some(arch) => {
+            // One cluster per processing element, dummies outside.
+            for pe in arch.ids() {
+                let members: Vec<_> = cpg
+                    .process_ids()
+                    .filter(|&id| cpg.mapping(id) == Some(pe))
+                    .collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let _ = writeln!(out, "  subgraph cluster_pe{} {{", pe.index());
+                let _ = writeln!(out, "    label=\"{}\";", arch.pe(pe).name());
+                for id in members {
+                    let _ = writeln!(out, "    n{} [{}];", id.index(), node_attrs(id));
+                }
+                out.push_str("  }\n");
+            }
+            for id in cpg.process_ids() {
+                if cpg.mapping(id).is_none() {
+                    let _ = writeln!(out, "  n{} [{}];", id.index(), node_attrs(id));
+                }
+            }
+        }
+        None => {
+            for id in cpg.process_ids() {
+                let _ = writeln!(out, "  n{} [{}];", id.index(), node_attrs(id));
+            }
+        }
+    }
+
+    for edge in cpg.edges() {
+        let mut attrs: Vec<String> = Vec::new();
+        if let Some(lit) = edge.condition() {
+            let name = cpg.condition_name(lit.cond());
+            if lit.value() {
+                attrs.push(format!("label=\"{name}\""));
+            } else {
+                attrs.push(format!("label=\"!{name}\""));
+                attrs.push("style=dashed".to_owned());
+            }
+            attrs.push("penwidth=2".to_owned());
+        }
+        if !edge.comm_time().is_zero() {
+            attrs.push(format!("taillabel=\"{}\"", edge.comm_time()));
+        }
+        let attr_text = if attrs.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", attrs.join(", "))
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{}{attr_text};",
+            edge.from().index(),
+            edge.to().index()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+
+    #[test]
+    fn dot_output_contains_every_process_and_edge() {
+        let system = examples::fig1();
+        let dot = to_dot(system.cpg(), Some(system.arch()));
+        assert!(dot.starts_with("digraph cpg {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for id in system.cpg().process_ids() {
+            assert!(dot.contains(&format!("n{} ", id.index())) || dot.contains(&format!("n{} [", id.index())));
+        }
+        let arrow_count = dot.matches("->").count();
+        assert_eq!(arrow_count, system.cpg().edges().len());
+        // Clusters per processing element.
+        assert!(dot.contains("cluster_pe0"));
+        assert!(dot.contains("label=\"pe4\""));
+    }
+
+    #[test]
+    fn conditional_edges_are_labelled_with_their_condition() {
+        let system = examples::diamond();
+        let dot = to_dot(system.cpg(), None);
+        assert!(dot.contains("label=\"C\""));
+        assert!(dot.contains("label=\"!C\""));
+        assert!(dot.contains("style=dashed"));
+        assert!(!dot.contains("cluster_pe"));
+    }
+
+    #[test]
+    fn disjunction_and_conjunction_shapes_are_distinct() {
+        let system = examples::diamond();
+        let dot = to_dot(system.cpg(), Some(system.arch()));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.contains("shape=point"));
+    }
+}

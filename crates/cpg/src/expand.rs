@@ -1,0 +1,332 @@
+//! Insertion of communication processes on inter-processor edges.
+//!
+//! In the paper's model every connection between processes mapped to
+//! different processing elements is handled by a *communication process*
+//! mapped to a bus (the black dots P18–P31 of Fig. 1). This module turns a
+//! graph of ordinary processes into the full graph containing those
+//! communication processes.
+
+use cpg_arch::{Architecture, PeId};
+
+use crate::error::ExpandError;
+use crate::graph::{Cpg, CpgBuilder};
+use crate::process::{ProcessId, ProcessKind};
+
+/// Policy used to choose the bus that carries the communication process of an
+/// inter-processor edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum BusPolicy {
+    /// Respect the `via` bus recorded on the edge when present, otherwise
+    /// distribute communications over all buses round-robin.
+    #[default]
+    RoundRobin,
+    /// Respect the `via` bus recorded on the edge when present, otherwise map
+    /// every communication to the first bus of the architecture (the paper's
+    /// Fig. 1 maps all communications to a unique bus).
+    FirstBus,
+}
+
+/// Expands a conditional process graph by inserting a communication process on
+/// every edge whose endpoints are mapped to different processing elements.
+///
+/// Edges between processes on the same processing element, and edges touching
+/// the dummy source/sink, are kept as they are. For an edge `Pi → Pj` crossing
+/// processing elements, a communication process named `"Pi->Pj"` with
+/// execution time equal to the edge's communication time is inserted on a bus
+/// chosen according to `policy`, the conditional literal (if any) moves to the
+/// `Pi → comm` sub-edge, and `comm → Pj` becomes a simple edge.
+///
+/// # Errors
+///
+/// * [`ExpandError::AlreadyExpanded`] when the graph already contains
+///   communication processes.
+/// * [`ExpandError::NoBusAvailable`] when an inter-processor edge exists but
+///   the architecture has no bus.
+///
+/// # Example
+///
+/// ```
+/// use cpg_arch::{Architecture, Time};
+/// use cpg::{expand_communications, BusPolicy, Cpg};
+///
+/// let arch = Architecture::builder()
+///     .processor("pe1").processor("pe2").bus("bus").build()?;
+/// let pe1 = arch.pe_by_name("pe1").unwrap();
+/// let pe2 = arch.pe_by_name("pe2").unwrap();
+/// let mut b = Cpg::builder();
+/// let a = b.process("A", Time::new(2), pe1);
+/// let z = b.process("Z", Time::new(2), pe2);
+/// b.simple_edge(a, z, Time::new(3));
+/// let cpg = b.build(&arch)?;
+///
+/// let full = expand_communications(&cpg, &arch, BusPolicy::FirstBus)?;
+/// assert_eq!(full.communication_processes().count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn expand_communications(
+    cpg: &Cpg,
+    arch: &Architecture,
+    policy: BusPolicy,
+) -> Result<Cpg, ExpandError> {
+    if cpg.is_expanded() {
+        return Err(ExpandError::AlreadyExpanded);
+    }
+    let buses: Vec<PeId> = arch.buses().collect();
+
+    let mut builder = CpgBuilder::new();
+    // Conditions are re-declared with the same identifiers (declaration order
+    // is preserved).
+    for cond in cpg.conditions() {
+        builder.condition(cpg.condition_name(cond).to_owned());
+    }
+    // Ordinary processes are copied; identifiers keep their relative order, so
+    // we remember the translation.
+    let mut translated: Vec<Option<ProcessId>> = vec![None; cpg.len()];
+    for id in cpg.process_ids() {
+        let process = cpg.process(id);
+        if process.kind() == ProcessKind::Ordinary {
+            let new_id = builder.process(
+                process.name().to_owned(),
+                process.exec_time(),
+                process.mapping().expect("ordinary processes are mapped"),
+            );
+            translated[id.index()] = Some(new_id);
+        }
+    }
+    for id in cpg.process_ids() {
+        if cpg.process(id).is_conjunction() && cpg.process(id).kind() == ProcessKind::Ordinary {
+            builder.mark_conjunction(translated[id.index()].expect("translated above"));
+        }
+    }
+
+    let mut next_bus = 0usize;
+    for edge in cpg.edges() {
+        let (Some(from), Some(to)) = (
+            translated[edge.from().index()],
+            translated[edge.to().index()],
+        ) else {
+            // Edge touches the dummy source or sink: the builder recreates
+            // polar edges automatically.
+            continue;
+        };
+        let from_pe = cpg.mapping(edge.from()).expect("ordinary processes are mapped");
+        let to_pe = cpg.mapping(edge.to()).expect("ordinary processes are mapped");
+        if from_pe == to_pe {
+            match edge.condition() {
+                Some(lit) => builder.conditional_edge(from, to, lit, edge.comm_time()),
+                None => builder.simple_edge(from, to, edge.comm_time()),
+            }
+            continue;
+        }
+        // Inter-processor edge: insert a communication process.
+        let bus = match edge.via() {
+            Some(via) => via,
+            None => {
+                if buses.is_empty() {
+                    return Err(ExpandError::NoBusAvailable {
+                        from: cpg.process(edge.from()).name().to_owned(),
+                        to: cpg.process(edge.to()).name().to_owned(),
+                    });
+                }
+                match policy {
+                    BusPolicy::FirstBus => buses[0],
+                    BusPolicy::RoundRobin => {
+                        let bus = buses[next_bus % buses.len()];
+                        next_bus += 1;
+                        bus
+                    }
+                }
+            }
+        };
+        let name = format!(
+            "{}->{}",
+            cpg.process(edge.from()).name(),
+            cpg.process(edge.to()).name()
+        );
+        let comm = builder.communication(name, edge.comm_time(), bus);
+        match edge.condition() {
+            Some(lit) => builder.conditional_edge(from, comm, lit, cpg_arch::Time::ZERO),
+            None => builder.simple_edge(from, comm, cpg_arch::Time::ZERO),
+        }
+        builder.simple_edge(comm, to, cpg_arch::Time::ZERO);
+    }
+
+    builder.build(arch).map_err(ExpandError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cube;
+    use crate::tracks::enumerate_tracks;
+    use cpg_arch::Time;
+
+    fn arch() -> Architecture {
+        Architecture::builder()
+            .processor("pe1")
+            .processor("pe2")
+            .bus("bus0")
+            .bus("bus1")
+            .build()
+            .unwrap()
+    }
+
+    fn simple_cross(arch: &Architecture) -> Cpg {
+        let pe1 = arch.pe_by_name("pe1").unwrap();
+        let pe2 = arch.pe_by_name("pe2").unwrap();
+        let mut b = CpgBuilder::new();
+        let a = b.process("A", Time::new(2), pe1);
+        let z = b.process("Z", Time::new(2), pe2);
+        b.simple_edge(a, z, Time::new(3));
+        b.build(arch).unwrap()
+    }
+
+    #[test]
+    fn local_edges_get_no_communication_process() {
+        let arch = arch();
+        let pe1 = arch.pe_by_name("pe1").unwrap();
+        let mut b = CpgBuilder::new();
+        let a = b.process("A", Time::new(2), pe1);
+        let z = b.process("Z", Time::new(2), pe1);
+        b.simple_edge(a, z, Time::new(3));
+        let cpg = b.build(&arch).unwrap();
+        let full = expand_communications(&cpg, &arch, BusPolicy::FirstBus).unwrap();
+        assert_eq!(full.communication_processes().count(), 0);
+        assert_eq!(full.ordinary_processes().count(), 2);
+    }
+
+    #[test]
+    fn cross_processor_edge_gets_a_communication_process() {
+        let arch = arch();
+        let cpg = simple_cross(&arch);
+        let full = expand_communications(&cpg, &arch, BusPolicy::FirstBus).unwrap();
+        assert_eq!(full.communication_processes().count(), 1);
+        let comm = full.communication_processes().next().unwrap();
+        assert_eq!(full.process(comm).name(), "A->Z");
+        assert_eq!(full.exec_time(comm), Time::new(3));
+        let bus = full.mapping(comm).unwrap();
+        assert!(arch.kind_of(bus).is_bus());
+        // A -> comm -> Z
+        let a = full.process_by_name("A").unwrap();
+        let z = full.process_by_name("Z").unwrap();
+        assert!(full.successors(a).any(|s| s == comm));
+        assert!(full.successors(comm).any(|s| s == z));
+        assert!(full.is_expanded());
+    }
+
+    #[test]
+    fn expanding_twice_is_an_error() {
+        let arch = arch();
+        let cpg = simple_cross(&arch);
+        let full = expand_communications(&cpg, &arch, BusPolicy::FirstBus).unwrap();
+        assert_eq!(
+            expand_communications(&full, &arch, BusPolicy::FirstBus),
+            Err(ExpandError::AlreadyExpanded)
+        );
+    }
+
+    #[test]
+    fn round_robin_alternates_buses() {
+        let arch = arch();
+        let pe1 = arch.pe_by_name("pe1").unwrap();
+        let pe2 = arch.pe_by_name("pe2").unwrap();
+        let mut b = CpgBuilder::new();
+        let a = b.process("A", Time::new(1), pe1);
+        let x = b.process("X", Time::new(1), pe2);
+        let y = b.process("Y", Time::new(1), pe2);
+        b.simple_edge(a, x, Time::new(1));
+        b.simple_edge(a, y, Time::new(1));
+        let cpg = b.build(&arch).unwrap();
+        let full = expand_communications(&cpg, &arch, BusPolicy::RoundRobin).unwrap();
+        let buses: std::collections::HashSet<_> = full
+            .communication_processes()
+            .map(|c| full.mapping(c).unwrap())
+            .collect();
+        assert_eq!(buses.len(), 2);
+    }
+
+    #[test]
+    fn explicit_via_bus_is_respected() {
+        let arch = arch();
+        let pe1 = arch.pe_by_name("pe1").unwrap();
+        let pe2 = arch.pe_by_name("pe2").unwrap();
+        let bus1 = arch.pe_by_name("bus1").unwrap();
+        let mut b = CpgBuilder::new();
+        let a = b.process("A", Time::new(1), pe1);
+        let z = b.process("Z", Time::new(1), pe2);
+        b.simple_edge_via(a, z, Time::new(1), bus1);
+        let cpg = b.build(&arch).unwrap();
+        let full = expand_communications(&cpg, &arch, BusPolicy::FirstBus).unwrap();
+        let comm = full.communication_processes().next().unwrap();
+        assert_eq!(full.mapping(comm), Some(bus1));
+    }
+
+    #[test]
+    fn conditional_cross_edge_keeps_guard_semantics() {
+        let arch = arch();
+        let pe1 = arch.pe_by_name("pe1").unwrap();
+        let pe2 = arch.pe_by_name("pe2").unwrap();
+        let mut b = CpgBuilder::new();
+        let c = b.condition("C");
+        let root = b.process("root", Time::new(1), pe1);
+        let t = b.process("t", Time::new(1), pe2);
+        let e = b.process("e", Time::new(1), pe1);
+        b.conditional_edge(root, t, c.is_true(), Time::new(2));
+        b.conditional_edge(root, e, c.is_false(), Time::ZERO);
+        let cpg = b.build(&arch).unwrap();
+        let full = expand_communications(&cpg, &arch, BusPolicy::FirstBus).unwrap();
+
+        // The communication inherits the guard C; the destination keeps it too.
+        let comm = full.communication_processes().next().unwrap();
+        assert_eq!(
+            full.guard(comm).as_cube(),
+            Some(Cube::from(c.is_true()))
+        );
+        let t_new = full.process_by_name("t").unwrap();
+        assert_eq!(full.guard(t_new).as_cube(), Some(Cube::from(c.is_true())));
+        // The disjunction process is still `root`.
+        let root_new = full.process_by_name("root").unwrap();
+        assert_eq!(full.disjunction_of(c), root_new);
+        // Track structure is unchanged: two alternative paths.
+        assert_eq!(enumerate_tracks(&full).len(), 2);
+    }
+
+    #[test]
+    fn expansion_preserves_structure_and_execution_time() {
+        // Expansion only adds communication processes: the ordinary process
+        // set, the guards, the conditions and the number of alternative paths
+        // are unchanged, and the total execution time grows by exactly the
+        // inserted communication times.
+        let system = crate::examples::fig1();
+        let before = system.unexpanded();
+        let after = system.cpg();
+        assert_eq!(
+            before.ordinary_processes().count(),
+            after.ordinary_processes().count()
+        );
+        assert_eq!(before.num_conditions(), after.num_conditions());
+        assert_eq!(
+            enumerate_tracks(before).len(),
+            enumerate_tracks(after).len()
+        );
+        let comm_total: Time = after
+            .communication_processes()
+            .map(|c| after.exec_time(c))
+            .sum();
+        assert_eq!(
+            after.total_execution_time(),
+            before.total_execution_time() + comm_total
+        );
+        for pid in before.ordinary_processes() {
+            let name = before.process(pid).name();
+            let mapped = after.process_by_name(name).unwrap();
+            assert_eq!(before.exec_time(pid), after.exec_time(mapped), "{name}");
+            assert_eq!(
+                before.guard(pid).is_true(),
+                after.guard(mapped).is_true(),
+                "{name}"
+            );
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Processes (nodes) of a conditional process graph.
+
+use std::fmt;
+
+use cpg_arch::{PeId, Time};
+
+use crate::cond::{CondId, Guard};
+
+/// Identifier of a process inside a [`Cpg`](crate::Cpg).
+///
+/// # Example
+///
+/// ```
+/// use cpg::ProcessId;
+/// let p = ProcessId::from_index(7);
+/// assert_eq!(p.index(), 7);
+/// assert_eq!(p.to_string(), "P7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub(crate) usize);
+
+impl ProcessId {
+    /// The position of this process inside its graph.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Creates an identifier from a raw index.
+    ///
+    /// Prefer obtaining identifiers from builder/graph queries; this exists for
+    /// tests and serialization-style use cases.
+    #[must_use]
+    pub const fn from_index(index: usize) -> Self {
+        ProcessId(index)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The role a process plays in the conditional process graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessKind {
+    /// The dummy first process of the polar graph (zero execution time).
+    Source,
+    /// The dummy last process of the polar graph (zero execution time).
+    Sink,
+    /// An "ordinary" process specified by the designer, mapped to a processor
+    /// or hardware element.
+    Ordinary,
+    /// A communication process inserted on an edge whose endpoints are mapped
+    /// to different processing elements; mapped to a bus.
+    Communication,
+}
+
+impl ProcessKind {
+    /// `true` for the dummy source/sink nodes of the polar graph.
+    #[must_use]
+    pub const fn is_dummy(self) -> bool {
+        matches!(self, ProcessKind::Source | ProcessKind::Sink)
+    }
+
+    /// `true` for communication processes.
+    #[must_use]
+    pub const fn is_communication(self) -> bool {
+        matches!(self, ProcessKind::Communication)
+    }
+}
+
+impl fmt::Display for ProcessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            ProcessKind::Source => "source",
+            ProcessKind::Sink => "sink",
+            ProcessKind::Ordinary => "process",
+            ProcessKind::Communication => "communication",
+        };
+        f.write_str(label)
+    }
+}
+
+/// A process of the conditional process graph.
+///
+/// Every process carries its worst-case execution time, its mapping to a
+/// processing element (`None` only for the dummy source/sink), the condition
+/// it computes when it is a disjunction process, and — after graph
+/// construction — its guard `X_Pi`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Process {
+    pub(crate) name: String,
+    pub(crate) kind: ProcessKind,
+    pub(crate) exec_time: Time,
+    pub(crate) mapping: Option<PeId>,
+    pub(crate) computes: Option<CondId>,
+    pub(crate) guard: Guard,
+    pub(crate) is_conjunction: bool,
+}
+
+impl Process {
+    /// The designer-given name of the process.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The role of the process (source, sink, ordinary, communication).
+    #[must_use]
+    pub const fn kind(&self) -> ProcessKind {
+        self.kind
+    }
+
+    /// The worst-case execution time `t_Pi` (communication time for
+    /// communication processes, zero for the dummy source/sink).
+    #[must_use]
+    pub const fn exec_time(&self) -> Time {
+        self.exec_time
+    }
+
+    /// The processing element the process is mapped to (`None` for the dummy
+    /// source and sink, which consume no resource).
+    #[must_use]
+    pub const fn mapping(&self) -> Option<PeId> {
+        self.mapping
+    }
+
+    /// The condition computed by this process when it is a disjunction
+    /// process.
+    #[must_use]
+    pub const fn computes(&self) -> Option<CondId> {
+        self.computes
+    }
+
+    /// `true` when the process is a disjunction process (has conditional
+    /// output edges and therefore computes a condition).
+    #[must_use]
+    pub const fn is_disjunction(&self) -> bool {
+        self.computes.is_some()
+    }
+
+    /// `true` when the process is a conjunction process (alternative paths
+    /// meet at it; it is activated as soon as the inputs of one alternative
+    /// path have arrived).
+    #[must_use]
+    pub const fn is_conjunction(&self) -> bool {
+        self.is_conjunction
+    }
+
+    /// The guard `X_Pi`: the necessary condition for the process to be
+    /// activated during an execution of the system.
+    #[must_use]
+    pub fn guard(&self) -> &Guard {
+        &self.guard
+    }
+}
+
+impl fmt::Display for Process {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, t={})", self.name, self.kind, self.exec_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_display_and_round_trip() {
+        let id = ProcessId::from_index(12);
+        assert_eq!(id.index(), 12);
+        assert_eq!(id.to_string(), "P12");
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(ProcessKind::Source.is_dummy());
+        assert!(ProcessKind::Sink.is_dummy());
+        assert!(!ProcessKind::Ordinary.is_dummy());
+        assert!(ProcessKind::Communication.is_communication());
+        assert!(!ProcessKind::Ordinary.is_communication());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ProcessKind::Ordinary.to_string(), "process");
+        assert_eq!(ProcessKind::Communication.to_string(), "communication");
+    }
+}

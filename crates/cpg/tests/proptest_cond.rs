@@ -1,0 +1,178 @@
+//! Property-based tests of the condition algebra (cubes, guards,
+//! assignments): the bitset implementation must agree with the semantic
+//! (truth-table) definitions of conjunction, implication and exclusion.
+
+use proptest::prelude::*;
+
+use cpg::{all_assignments, Assignment, CondId, Cube, Guard, Literal};
+
+const WIDTH: usize = 6;
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    (0..WIDTH, any::<bool>()).prop_map(|(index, value)| CondId::new(index).literal(value))
+}
+
+/// An arbitrary consistent cube over the first `WIDTH` conditions.
+fn cube_strategy() -> impl Strategy<Value = Cube> {
+    proptest::collection::vec((0..WIDTH, any::<Option<bool>>()), WIDTH).prop_map(|choices| {
+        let mut cube = Cube::top();
+        for (index, polarity) in choices {
+            if let Some(value) = polarity {
+                if let Some(next) = cube.and(CondId::new(index).literal(value)) {
+                    cube = next;
+                }
+            }
+        }
+        cube
+    })
+}
+
+/// All complete assignments over the conditions used by the strategies.
+fn universe() -> Vec<Assignment> {
+    let conditions: Vec<CondId> = (0..WIDTH).map(CondId::new).collect();
+    all_assignments(&conditions)
+}
+
+proptest! {
+    #[test]
+    fn conjunction_matches_truth_table_semantics(a in cube_strategy(), b in cube_strategy()) {
+        match a.and_cube(&b) {
+            Some(joined) => {
+                for assignment in universe() {
+                    prop_assert_eq!(
+                        joined.satisfied_by(&assignment),
+                        a.satisfied_by(&assignment) && b.satisfied_by(&assignment)
+                    );
+                }
+            }
+            None => {
+                // Contradiction: no assignment satisfies both.
+                for assignment in universe() {
+                    prop_assert!(!(a.satisfied_by(&assignment) && b.satisfied_by(&assignment)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn implication_matches_semantic_entailment(a in cube_strategy(), b in cube_strategy()) {
+        let syntactic = a.implies(&b);
+        let semantic = universe()
+            .iter()
+            .all(|assignment| !a.satisfied_by(assignment) || b.satisfied_by(assignment));
+        prop_assert_eq!(syntactic, semantic);
+    }
+
+    #[test]
+    fn exclusion_matches_unsatisfiable_conjunction(a in cube_strategy(), b in cube_strategy()) {
+        let syntactic = a.excludes(&b);
+        let semantic = universe()
+            .iter()
+            .all(|assignment| !(a.satisfied_by(assignment) && b.satisfied_by(assignment)));
+        prop_assert_eq!(syntactic, semantic);
+        prop_assert_eq!(a.excludes(&b), b.excludes(&a));
+        prop_assert_eq!(a.compatible(&b), !a.excludes(&b));
+    }
+
+    #[test]
+    fn implication_is_reflexive_and_transitive(
+        a in cube_strategy(),
+        b in cube_strategy(),
+        c in cube_strategy(),
+    ) {
+        prop_assert!(a.implies(&a));
+        if a.implies(&b) && b.implies(&c) {
+            prop_assert!(a.implies(&c));
+        }
+        // Everything implies true.
+        prop_assert!(a.implies(&Cube::top()));
+    }
+
+    #[test]
+    fn conjoining_a_literal_adds_exactly_that_literal(cube in cube_strategy(), lit in literal_strategy()) {
+        match cube.and(lit) {
+            Some(next) => {
+                prop_assert!(next.contains(lit));
+                prop_assert!(next.implies(&cube));
+                prop_assert_eq!(next.polarity_of(lit.cond()), Some(lit.value()));
+                prop_assert!(next.len() <= cube.len() + 1);
+            }
+            None => prop_assert!(cube.contains(lit.negated())),
+        }
+    }
+
+    #[test]
+    fn without_removes_only_the_requested_condition(cube in cube_strategy(), index in 0..WIDTH) {
+        let cond = CondId::new(index);
+        let removed = cube.without(cond);
+        prop_assert!(!removed.mentions(cond));
+        prop_assert!(cube.implies(&removed));
+        for lit in cube.literals() {
+            if lit.cond() != cond {
+                prop_assert!(removed.contains(lit));
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_round_trips_through_cube(cube in cube_strategy()) {
+        let assignment = Assignment::from_cube(&cube);
+        prop_assert_eq!(assignment.to_cube(), cube);
+        prop_assert!(cube.satisfied_by(&assignment));
+        prop_assert!(cube.consistent_with(&assignment));
+        prop_assert_eq!(assignment.len(), cube.len());
+    }
+
+    #[test]
+    fn guard_normalisation_preserves_semantics(cubes in proptest::collection::vec(cube_strategy(), 0..5)) {
+        let guard = Guard::from_cubes(cubes.clone());
+        for assignment in universe() {
+            let raw = cubes.iter().any(|cube| cube.satisfied_by(&assignment));
+            prop_assert_eq!(guard.satisfied_by(&assignment), raw);
+        }
+    }
+
+    #[test]
+    fn guard_implication_matches_semantic_entailment(
+        a in proptest::collection::vec(cube_strategy(), 0..4),
+        b in proptest::collection::vec(cube_strategy(), 0..4),
+    ) {
+        let ga = Guard::from_cubes(a);
+        let gb = Guard::from_cubes(b);
+        let syntactic = ga.implies(&gb);
+        let semantic = universe()
+            .iter()
+            .all(|assignment| !ga.satisfied_by(assignment) || gb.satisfied_by(assignment));
+        prop_assert_eq!(syntactic, semantic);
+    }
+
+    #[test]
+    fn guard_conjunction_and_disjunction_are_semantic(
+        a in proptest::collection::vec(cube_strategy(), 0..4),
+        cube in cube_strategy(),
+    ) {
+        let guard = Guard::from_cubes(a);
+        let anded = guard.and_cube(&cube);
+        let ored = guard.or(&Guard::from_cube(cube));
+        for assignment in universe() {
+            prop_assert_eq!(
+                anded.satisfied_by(&assignment),
+                guard.satisfied_by(&assignment) && cube.satisfied_by(&assignment)
+            );
+            prop_assert_eq!(
+                ored.satisfied_by(&assignment),
+                guard.satisfied_by(&assignment) || cube.satisfied_by(&assignment)
+            );
+        }
+    }
+
+    #[test]
+    fn display_round_trips_the_number_of_literals(cube in cube_strategy()) {
+        let text = cube.to_string();
+        if cube.is_top() {
+            prop_assert_eq!(text, "true");
+        } else {
+            prop_assert_eq!(text.split('&').count(), cube.len());
+        }
+    }
+}

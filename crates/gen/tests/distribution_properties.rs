@@ -1,0 +1,99 @@
+//! Statistical sanity checks of the workload generator: the execution-time
+//! distributions and the structural parameters behave as the experiment of
+//! Section 6 assumes.
+
+use cpg::enumerate_tracks;
+use cpg_arch::Time;
+use cpg_gen::{generate, paper_suite, ExecTimeDistribution, GeneratorConfig};
+
+fn execution_times(config: &GeneratorConfig) -> Vec<u64> {
+    let system = generate(config);
+    system
+        .cpg()
+        .ordinary_processes()
+        .map(|p| system.cpg().exec_time(p).as_u64())
+        .collect()
+}
+
+#[test]
+fn uniform_execution_times_respect_their_bounds() {
+    let config = GeneratorConfig::new(120, 12)
+        .with_distribution(ExecTimeDistribution::Uniform { min: 5, max: 25 })
+        .with_seed(91);
+    let times = execution_times(&config);
+    assert_eq!(times.len(), 120);
+    assert!(times.iter().all(|&t| (5..=25).contains(&t)));
+    // A uniform sample of 120 values over [5, 25] has a mean near 15.
+    let mean = times.iter().sum::<u64>() as f64 / times.len() as f64;
+    assert!((10.0..20.0).contains(&mean), "mean {mean} implausible");
+}
+
+#[test]
+fn exponential_execution_times_have_the_requested_scale() {
+    let config = GeneratorConfig::new(200, 10)
+        .with_distribution(ExecTimeDistribution::Exponential { mean: 12.0 })
+        .with_seed(92);
+    let times = execution_times(&config);
+    assert!(times.iter().all(|&t| t >= 1));
+    let mean = times.iter().sum::<u64>() as f64 / times.len() as f64;
+    // Exponential with mean 12, rounded up: the sample mean of 200 values
+    // lands comfortably within a factor of two of the target.
+    assert!((6.0..24.0).contains(&mean), "mean {mean} implausible");
+    // An exponential sample is right-skewed: the maximum exceeds twice the
+    // mean with overwhelming probability.
+    assert!(*times.iter().max().unwrap() as f64 > 2.0 * mean);
+}
+
+#[test]
+fn communication_times_stay_within_the_configured_maximum() {
+    let config = GeneratorConfig::new(80, 18)
+        .with_processors(5)
+        .with_max_comm_time(3)
+        .with_seed(93);
+    let system = generate(&config);
+    for comm in system.cpg().communication_processes() {
+        let time = system.cpg().exec_time(comm);
+        assert!(time >= Time::new(1) && time <= Time::new(3), "{time}");
+    }
+}
+
+#[test]
+fn path_counts_of_the_full_suite_match_the_papers_parameters() {
+    // One graph per (size, path-count, distribution) bucket is enough to pin
+    // the structural parameters; the benchmark harness exercises the rest.
+    let suite = paper_suite(10);
+    assert_eq!(suite.len(), 30);
+    for config in &suite {
+        assert!([60, 80, 120].contains(&config.nodes()));
+        assert!([10, 12, 18, 24, 32].contains(&config.target_paths()));
+        assert!(config.processors() >= 1 && config.processors() <= 11);
+        assert!(config.buses() >= 1 && config.buses() <= 8);
+    }
+    for config in suite.iter().take(6) {
+        let system = generate(config);
+        assert_eq!(
+            enumerate_tracks(system.cpg()).len(),
+            config.target_paths()
+        );
+        assert_eq!(
+            system.cpg().ordinary_processes().count(),
+            config.nodes()
+        );
+    }
+}
+
+#[test]
+fn mapping_spreads_processes_over_the_available_processors() {
+    let config = GeneratorConfig::new(100, 10)
+        .with_processors(6)
+        .with_seed(94);
+    let system = generate(&config);
+    let used: std::collections::HashSet<_> = system
+        .cpg()
+        .ordinary_processes()
+        .map(|p| system.cpg().mapping(p).unwrap())
+        .collect();
+    // With 100 processes drawn uniformly over 7 computation elements, every
+    // element receives at least one process with overwhelming probability.
+    assert_eq!(used.len(), system.arch().computation_elements().count());
+}

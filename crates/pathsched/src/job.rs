@@ -1,0 +1,169 @@
+//! Schedulable jobs: processes of the graph and condition broadcasts.
+
+use std::fmt;
+
+use cpg::{CondId, ProcessId};
+use cpg_arch::{PeId, Time};
+
+/// A unit of work placed by the scheduler.
+///
+/// Besides the processes of the conditional process graph, the scheduler also
+/// places one *condition broadcast* per disjunction process that executes:
+/// after the disjunction process terminates, the value of its condition is
+/// broadcast on the first bus that becomes available, taking `τ0` time units
+/// (Section 3 of the paper). Both kinds of work occupy resources and appear as
+/// rows of the schedule table, so they share this identifier type.
+///
+/// # Example
+///
+/// ```
+/// use cpg::{CondId, ProcessId};
+/// use cpg_path_sched::Job;
+///
+/// let p = Job::Process(ProcessId::from_index(4));
+/// let b = Job::Broadcast(CondId::new(0));
+/// assert!(p.as_process().is_some());
+/// assert!(b.as_broadcast().is_some());
+/// assert_ne!(p, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Job {
+    /// An ordinary, communication or dummy process of the graph.
+    Process(ProcessId),
+    /// The broadcast of a condition value on a bus.
+    Broadcast(CondId),
+}
+
+impl Job {
+    /// The process identifier when this job is a process.
+    #[must_use]
+    pub const fn as_process(self) -> Option<ProcessId> {
+        match self {
+            Job::Process(id) => Some(id),
+            Job::Broadcast(_) => None,
+        }
+    }
+
+    /// The condition identifier when this job is a condition broadcast.
+    #[must_use]
+    pub const fn as_broadcast(self) -> Option<CondId> {
+        match self {
+            Job::Process(_) => None,
+            Job::Broadcast(cond) => Some(cond),
+        }
+    }
+
+    /// `true` when this job is a condition broadcast.
+    #[must_use]
+    pub const fn is_broadcast(self) -> bool {
+        matches!(self, Job::Broadcast(_))
+    }
+}
+
+impl From<ProcessId> for Job {
+    fn from(id: ProcessId) -> Self {
+        Job::Process(id)
+    }
+}
+
+impl From<CondId> for Job {
+    fn from(cond: CondId) -> Self {
+        Job::Broadcast(cond)
+    }
+}
+
+impl fmt::Display for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Job::Process(id) => write!(f, "{id}"),
+            Job::Broadcast(cond) => write!(f, "broadcast({cond})"),
+        }
+    }
+}
+
+/// A job committed to a start time and a resource by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledJob {
+    pub(crate) job: Job,
+    pub(crate) start: Time,
+    pub(crate) end: Time,
+    pub(crate) pe: Option<PeId>,
+}
+
+impl ScheduledJob {
+    /// The scheduled job.
+    #[must_use]
+    pub const fn job(&self) -> Job {
+        self.job
+    }
+
+    /// The activation (start) time.
+    #[must_use]
+    pub const fn start(&self) -> Time {
+        self.start
+    }
+
+    /// The completion time (start + execution time).
+    #[must_use]
+    pub const fn end(&self) -> Time {
+        self.end
+    }
+
+    /// The processing element the job occupies (`None` for the dummy source
+    /// and sink, which consume no resource).
+    #[must_use]
+    pub const fn pe(&self) -> Option<PeId> {
+        self.pe
+    }
+
+    /// The duration of the job.
+    #[must_use]
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+}
+
+impl fmt::Display for ScheduledJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ [{}, {})", self.job, self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_conversions_and_accessors() {
+        let p: Job = ProcessId::from_index(3).into();
+        assert_eq!(p.as_process(), Some(ProcessId::from_index(3)));
+        assert_eq!(p.as_broadcast(), None);
+        assert!(!p.is_broadcast());
+
+        let b: Job = CondId::new(1).into();
+        assert_eq!(b.as_broadcast(), Some(CondId::new(1)));
+        assert_eq!(b.as_process(), None);
+        assert!(b.is_broadcast());
+    }
+
+    #[test]
+    fn job_display() {
+        assert_eq!(Job::Process(ProcessId::from_index(2)).to_string(), "P2");
+        assert_eq!(Job::Broadcast(CondId::new(0)).to_string(), "broadcast(c0)");
+    }
+
+    #[test]
+    fn scheduled_job_accessors() {
+        let sj = ScheduledJob {
+            job: Job::Process(ProcessId::from_index(1)),
+            start: Time::new(3),
+            end: Time::new(7),
+            pe: None,
+        };
+        assert_eq!(sj.start(), Time::new(3));
+        assert_eq!(sj.end(), Time::new(7));
+        assert_eq!(sj.duration(), Time::new(4));
+        assert_eq!(sj.pe(), None);
+        assert!(sj.to_string().contains("P1"));
+    }
+}

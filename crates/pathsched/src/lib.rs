@@ -1,0 +1,45 @@
+//! Resource-constrained list scheduling of individual alternative paths of a
+//! conditional process graph.
+//!
+//! The scheduling strategy of Eles et al. (DATE 1998) proceeds in two steps:
+//! first every alternative path through the conditional process graph is
+//! scheduled individually (this crate), then the per-path schedules are merged
+//! into the global schedule table (the `cpg-merge` crate).
+//!
+//! The central types are:
+//!
+//! * [`Job`] — a schedulable unit: a process of the graph or the broadcast of
+//!   a condition value on a bus;
+//! * [`ListScheduler`] — the list scheduler itself, with partial-critical-path
+//!   priorities, gap-filling placement on exclusive resources, parallel
+//!   execution on hardware processors, and condition broadcasting;
+//! * [`PathSchedule`] — the result: activation times for every job of one
+//!   path, the path delay `δ_k`, and queries about when condition values
+//!   become known on each processing element.
+//!
+//! # Example
+//!
+//! ```
+//! use cpg::{enumerate_tracks, examples};
+//! use cpg_path_sched::{Job, ListScheduler};
+//!
+//! let system = examples::diamond();
+//! let tracks = enumerate_tracks(system.cpg());
+//! let scheduler = ListScheduler::new(system.cpg(), system.arch(), system.broadcast_time());
+//!
+//! let schedule = scheduler.schedule_track(&tracks.tracks()[0]);
+//! assert!(schedule.delay() > cpg_arch::Time::ZERO);
+//! let decide = system.cpg().process_by_name("decide").unwrap();
+//! assert!(schedule.start(Job::Process(decide)).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod schedule;
+mod scheduler;
+
+pub use job::{Job, ScheduledJob};
+pub use schedule::PathSchedule;
+pub use scheduler::ListScheduler;

@@ -1,0 +1,312 @@
+//! The schedule of one alternative path.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cpg::{CondId, Cpg, Cube, ProcessId};
+use cpg_arch::{Architecture, PeId, Time};
+
+use crate::job::{Job, ScheduledJob};
+
+/// The (near-)optimal schedule of one alternative path `G_k` of a conditional
+/// process graph: a start time for every process activated on the path and
+/// for every condition broadcast issued on it.
+///
+/// Produced by [`ListScheduler`](crate::ListScheduler); consumed by the
+/// schedule-merging algorithm of the `cpg-merge` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSchedule {
+    label: Cube,
+    jobs: Vec<ScheduledJob>,
+    index: HashMap<Job, usize>,
+    delay: Time,
+}
+
+impl PathSchedule {
+    pub(crate) fn new(label: Cube, mut jobs: Vec<ScheduledJob>, delay: Time) -> Self {
+        jobs.sort_by_key(|j| (j.start(), j.end(), j.job()));
+        let index = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.job(), i))
+            .collect();
+        PathSchedule {
+            label,
+            jobs,
+            index,
+            delay,
+        }
+    }
+
+    /// The label `L_k` of the alternative path this schedule belongs to.
+    #[must_use]
+    pub const fn label(&self) -> Cube {
+        self.label
+    }
+
+    /// The delay of the path under this schedule: the activation time of the
+    /// dummy sink process, i.e. the completion time of the whole path.
+    #[must_use]
+    pub const fn delay(&self) -> Time {
+        self.delay
+    }
+
+    /// The scheduled jobs in ascending start-time order.
+    #[must_use]
+    pub fn jobs(&self) -> &[ScheduledJob] {
+        &self.jobs
+    }
+
+    /// Number of scheduled jobs (processes plus condition broadcasts).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when the schedule contains no job.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The scheduled entry of a job, if the job is part of this path.
+    #[must_use]
+    pub fn entry(&self, job: Job) -> Option<&ScheduledJob> {
+        self.index.get(&job).map(|&i| &self.jobs[i])
+    }
+
+    /// The start time of a job, if the job is part of this path.
+    #[must_use]
+    pub fn start(&self, job: Job) -> Option<Time> {
+        self.entry(job).map(ScheduledJob::start)
+    }
+
+    /// The completion time of a job, if the job is part of this path.
+    #[must_use]
+    pub fn end(&self, job: Job) -> Option<Time> {
+        self.entry(job).map(ScheduledJob::end)
+    }
+
+    /// `true` when the job is scheduled on this path.
+    #[must_use]
+    pub fn contains(&self, job: Job) -> bool {
+        self.index.contains_key(&job)
+    }
+
+    /// The start times of all jobs as a map (useful for locking decisions in
+    /// the merge algorithm).
+    #[must_use]
+    pub fn start_times(&self) -> HashMap<Job, Time> {
+        self.jobs.iter().map(|j| (j.job(), j.start())).collect()
+    }
+
+    /// The completion times of the disjunction processes executed on this
+    /// path, together with the condition they compute, in ascending
+    /// completion-time order.
+    ///
+    /// These are the moments at which new condition values become available
+    /// and therefore the nodes of the decision tree explored during schedule
+    /// merging.
+    #[must_use]
+    pub fn condition_resolutions(&self, cpg: &Cpg) -> Vec<(CondId, Time)> {
+        let mut out: Vec<(CondId, Time)> = self
+            .jobs
+            .iter()
+            .filter_map(|sj| {
+                let pid = sj.job().as_process()?;
+                let cond = cpg.process(pid).computes()?;
+                Some((cond, sj.end()))
+            })
+            .collect();
+        out.sort_by_key(|&(cond, time)| (time, cond));
+        out
+    }
+
+    /// The moment from which the value of `cond` is known on processing
+    /// element `pe` under this schedule, or `None` when the condition is not
+    /// determined on this path.
+    ///
+    /// The value is known on the processing element that executes the
+    /// disjunction process from the moment that process terminates; on every
+    /// other processing element it is known once the broadcast completes
+    /// (broadcast start + `τ0`). When the architecture needs no broadcast
+    /// (single computation resource), the termination time is used everywhere.
+    #[must_use]
+    pub fn condition_known_at(&self, cpg: &Cpg, cond: CondId, pe: PeId) -> Option<Time> {
+        let disjunction = cpg.disjunction_of(cond);
+        let computed_at = self.end(Job::Process(disjunction))?;
+        if cpg.mapping(disjunction) == Some(pe) {
+            return Some(computed_at);
+        }
+        match self.end(Job::Broadcast(cond)) {
+            Some(broadcast_done) => Some(broadcast_done),
+            None => Some(computed_at),
+        }
+    }
+
+    /// The conditions (with the polarity given by the path label) whose value
+    /// is known on `pe` at time `t` under this schedule, as a cube.
+    ///
+    /// This is the expression that heads the schedule-table column in which an
+    /// activation at time `t` on `pe` is placed (rule 2 of the paper's table
+    /// generation algorithm).
+    #[must_use]
+    pub fn known_conditions(&self, cpg: &Cpg, pe: Option<PeId>, t: Time) -> Cube {
+        let mut cube = Cube::top();
+        for lit in self.label.literals() {
+            let known = match pe {
+                Some(pe) => self.condition_known_at(cpg, lit.cond(), pe),
+                // Jobs without a resource (dummy processes) see a condition as
+                // soon as it is computed anywhere.
+                None => self
+                    .end(Job::Process(cpg.disjunction_of(lit.cond()))),
+            };
+            if known.is_some_and(|known| known <= t) {
+                cube = cube
+                    .and(lit)
+                    .expect("literals of a single track label are consistent");
+            }
+        }
+        cube
+    }
+
+    /// Verifies the structural sanity of the schedule: data dependencies and
+    /// resource exclusiveness are respected and every job of the path is
+    /// placed. Returns a human-readable description of the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint. Used by tests
+    /// and property-based tests; a schedule produced by
+    /// [`ListScheduler`](crate::ListScheduler) never fails this check.
+    pub fn verify(&self, cpg: &Cpg, arch: &Architecture) -> Result<(), String> {
+        // Dependencies among processes that are part of the path.
+        for sj in &self.jobs {
+            let Some(pid) = sj.job().as_process() else {
+                continue;
+            };
+            for edge in cpg.in_edges(pid) {
+                let pred = Job::Process(edge.from());
+                if let Some(pred_end) = self.end(pred) {
+                    let transmits = edge
+                        .condition()
+                        .is_none_or(|lit| self.label.contains(lit));
+                    if transmits && pred_end > sj.start() {
+                        return Err(format!(
+                            "dependency violated: {} ends at {} but {} starts at {}",
+                            cpg.process(edge.from()).name(),
+                            pred_end,
+                            cpg.process(pid).name(),
+                            sj.start()
+                        ));
+                    }
+                }
+            }
+        }
+        // Broadcasts start only after their disjunction process completed.
+        for sj in &self.jobs {
+            if let Some(cond) = sj.job().as_broadcast() {
+                let disjunction = Job::Process(cpg.disjunction_of(cond));
+                match self.end(disjunction) {
+                    Some(done) if done <= sj.start() => {}
+                    Some(done) => {
+                        return Err(format!(
+                            "broadcast of {cond} starts at {} before its disjunction process completes at {done}",
+                            sj.start()
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "broadcast of {cond} scheduled but its disjunction process is not"
+                        ))
+                    }
+                }
+            }
+        }
+        // Resource exclusiveness.
+        for (i, a) in self.jobs.iter().enumerate() {
+            for b in self.jobs.iter().skip(i + 1) {
+                let (Some(pa), Some(pb)) = (a.pe(), b.pe()) else {
+                    continue;
+                };
+                if pa != pb || !arch.is_exclusive(pa) {
+                    continue;
+                }
+                let overlap = a.start() < b.end() && b.start() < a.end();
+                if overlap && a.duration() > Time::ZERO && b.duration() > Time::ZERO {
+                    return Err(format!(
+                        "jobs {} and {} overlap on exclusive resource {}",
+                        a.job(),
+                        b.job(),
+                        arch.pe(pa).name()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The processes of the path sorted by activation time — the order in
+    /// which the merge algorithm consumes "the following process in the
+    /// current schedule".
+    #[must_use]
+    pub fn processes_by_start(&self) -> Vec<(ProcessId, Time)> {
+        self.jobs
+            .iter()
+            .filter_map(|sj| sj.job().as_process().map(|p| (p, sj.start())))
+            .collect()
+    }
+}
+
+impl fmt::Display for PathSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule of path {} ({} jobs, delay {})",
+            self.label,
+            self.len(),
+            self.delay
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::ProcessId;
+
+    fn job(idx: usize, start: u64, end: u64) -> ScheduledJob {
+        ScheduledJob {
+            job: Job::Process(ProcessId::from_index(idx)),
+            start: Time::new(start),
+            end: Time::new(end),
+            pe: None,
+        }
+    }
+
+    #[test]
+    fn jobs_are_sorted_by_start_time() {
+        let schedule = PathSchedule::new(
+            Cube::top(),
+            vec![job(2, 10, 12), job(1, 0, 3), job(3, 5, 9)],
+            Time::new(12),
+        );
+        let starts: Vec<u64> = schedule.jobs().iter().map(|j| j.start().as_u64()).collect();
+        assert_eq!(starts, vec![0, 5, 10]);
+        assert_eq!(schedule.len(), 3);
+        assert!(!schedule.is_empty());
+        assert_eq!(schedule.delay(), Time::new(12));
+    }
+
+    #[test]
+    fn lookup_by_job() {
+        let schedule = PathSchedule::new(Cube::top(), vec![job(1, 0, 3)], Time::new(3));
+        let j = Job::Process(ProcessId::from_index(1));
+        assert_eq!(schedule.start(j), Some(Time::ZERO));
+        assert_eq!(schedule.end(j), Some(Time::new(3)));
+        assert!(schedule.contains(j));
+        assert!(!schedule.contains(Job::Process(ProcessId::from_index(9))));
+        assert_eq!(schedule.start_times().len(), 1);
+        assert!(schedule.to_string().contains("delay 3"));
+    }
+}

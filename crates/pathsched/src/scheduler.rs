@@ -1,0 +1,777 @@
+//! Resource-constrained list scheduling of a single alternative path.
+//!
+//! The paper schedules each alternative path of the conditional process graph
+//! with a list-scheduling algorithm (reference [5] of the paper) before
+//! merging the per-path schedules into the global schedule table. This module
+//! implements that scheduler:
+//!
+//! * processes become *eligible* when all the inputs they actually receive on
+//!   the current path have arrived;
+//! * eligible processes are committed in priority order (partial critical
+//!   path by default) to the earliest gap on their mapped resource;
+//! * programmable processors and buses execute one job at a time, hardware
+//!   processors execute any number of jobs in parallel;
+//! * after each disjunction process terminates, the value of its condition is
+//!   broadcast on the first bus that becomes available, occupying it for `τ0`
+//!   time units.
+//!
+//! The same engine re-schedules a path with some activation times *locked*
+//! (the "adjustment" step of the merge algorithm), keeping the relative order
+//! of the unlocked processes on every non-hardware processor.
+
+use std::collections::HashMap;
+
+use cpg::{CondId, Cpg, Cube, ProcessId, Track, TrackSet};
+use cpg_arch::{Architecture, PeId, Time};
+
+use crate::job::{Job, ScheduledJob};
+use crate::schedule::PathSchedule;
+
+/// Occupancy calendar of one exclusive resource (processor or bus).
+#[derive(Debug, Clone, Default)]
+struct Calendar {
+    /// Reserved intervals, kept sorted by start time.
+    intervals: Vec<(Time, Time)>,
+}
+
+impl Calendar {
+    /// Earliest start `>= after` at which a job of length `duration` fits
+    /// without overlapping a reserved interval.
+    fn earliest_fit(&self, after: Time, duration: Time) -> Time {
+        let mut candidate = after;
+        for &(start, end) in &self.intervals {
+            if candidate + duration <= start {
+                break;
+            }
+            if end > candidate {
+                candidate = end;
+            }
+        }
+        candidate
+    }
+
+    /// Reserves `[start, start + duration)`.
+    fn reserve(&mut self, start: Time, duration: Time) {
+        if duration.is_zero() {
+            return;
+        }
+        let end = start + duration;
+        let pos = self
+            .intervals
+            .partition_point(|&(existing, _)| existing < start);
+        self.intervals.insert(pos, (start, end));
+    }
+}
+
+/// List scheduler for the alternative paths of a conditional process graph.
+///
+/// # Example
+///
+/// ```
+/// use cpg::{enumerate_tracks, examples};
+/// use cpg_path_sched::ListScheduler;
+///
+/// let system = examples::fig1();
+/// let tracks = enumerate_tracks(system.cpg());
+/// let scheduler = ListScheduler::new(system.cpg(), system.arch(), system.broadcast_time());
+///
+/// let schedules = scheduler.schedule_all(&tracks);
+/// assert_eq!(schedules.len(), 6);
+/// // Every schedule respects dependencies and resource exclusiveness.
+/// for (track, schedule) in tracks.iter().zip(&schedules) {
+///     assert!(schedule.verify(system.cpg(), system.arch()).is_ok());
+///     assert_eq!(schedule.label(), track.label());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ListScheduler<'a> {
+    cpg: &'a Cpg,
+    arch: &'a Architecture,
+    broadcast_time: Time,
+}
+
+impl<'a> ListScheduler<'a> {
+    /// Creates a scheduler for the given graph, architecture and condition
+    /// broadcast time `τ0`.
+    #[must_use]
+    pub fn new(cpg: &'a Cpg, arch: &'a Architecture, broadcast_time: Time) -> Self {
+        ListScheduler {
+            cpg,
+            arch,
+            broadcast_time,
+        }
+    }
+
+    /// The graph being scheduled.
+    #[must_use]
+    pub fn cpg(&self) -> &'a Cpg {
+        self.cpg
+    }
+
+    /// The target architecture.
+    #[must_use]
+    pub fn arch(&self) -> &'a Architecture {
+        self.arch
+    }
+
+    /// The condition broadcast time `τ0`.
+    #[must_use]
+    pub fn broadcast_time(&self) -> Time {
+        self.broadcast_time
+    }
+
+    /// Schedules one alternative path with the partial-critical-path priority
+    /// (longest remaining path to the sink first).
+    #[must_use]
+    pub fn schedule_track(&self, track: &Track) -> PathSchedule {
+        let priorities = self.critical_path_priorities(track);
+        self.run(track, &priorities, &HashMap::new())
+    }
+
+    /// Schedules every alternative path of a track set, in track order.
+    #[must_use]
+    pub fn schedule_all(&self, tracks: &TrackSet) -> Vec<PathSchedule> {
+        tracks.iter().map(|t| self.schedule_track(t)).collect()
+    }
+
+    /// Re-schedules a path after some activation times have been fixed in the
+    /// schedule table (the *adjustment* step of the merge algorithm).
+    ///
+    /// Locked jobs keep exactly their fixed start time; every other job moves
+    /// to the earliest moment allowed by data dependencies and resource
+    /// availability, and the relative priority (original activation order) of
+    /// unlocked jobs on each resource is preserved, as required by Section 5.1
+    /// of the paper.
+    #[must_use]
+    pub fn reschedule(
+        &self,
+        track: &Track,
+        original: &PathSchedule,
+        locks: &HashMap<Job, Time>,
+    ) -> PathSchedule {
+        // Priority: earlier original start  =>  scheduled earlier.
+        let priorities: HashMap<Job, u64> = original
+            .jobs()
+            .iter()
+            .map(|sj| (sj.job(), u64::MAX - sj.start().as_u64()))
+            .collect();
+        self.run(track, &priorities, locks)
+    }
+
+    /// Partial-critical-path priorities: the length of the longest chain of
+    /// execution times from each job to the sink, restricted to the processes
+    /// active on `track`. Condition broadcasts get the highest priority so
+    /// that they are issued as soon as their disjunction process terminates.
+    #[must_use]
+    pub fn critical_path_priorities(&self, track: &Track) -> HashMap<Job, u64> {
+        let mut lengths: HashMap<ProcessId, u64> = HashMap::new();
+        for &pid in self.cpg.topological_order().iter().rev() {
+            if !track.contains(pid) {
+                continue;
+            }
+            let downstream = self
+                .cpg
+                .out_edges(pid)
+                .filter(|edge| {
+                    track.contains(edge.to())
+                        && edge
+                            .condition()
+                            .is_none_or(|lit| track.label().contains(lit))
+                })
+                .filter_map(|edge| lengths.get(&edge.to()).copied())
+                .max()
+                .unwrap_or(0);
+            lengths.insert(pid, downstream + self.cpg.exec_time(pid).as_u64());
+        }
+        let mut priorities: HashMap<Job, u64> = lengths
+            .into_iter()
+            .map(|(pid, len)| (Job::Process(pid), len))
+            .collect();
+        for cond in track.determined_conditions() {
+            priorities.insert(Job::Broadcast(cond), u64::MAX);
+        }
+        priorities
+    }
+
+    /// Serial schedule-generation scheme: commits eligible jobs in priority
+    /// order to the earliest feasible slot of their resource.
+    fn run(
+        &self,
+        track: &Track,
+        priorities: &HashMap<Job, u64>,
+        locks: &HashMap<Job, Time>,
+    ) -> PathSchedule {
+        let cpg = self.cpg;
+        let needs_broadcast =
+            self.arch.computation_elements().count() > 1 && self.arch.broadcast_buses().count() > 0;
+        let broadcast_buses: Vec<PeId> = self.arch.broadcast_buses().collect();
+
+        // The jobs of this path.
+        let mut jobs: Vec<Job> = track
+            .processes()
+            .iter()
+            .map(|&p| Job::Process(p))
+            .collect();
+        if needs_broadcast {
+            jobs.extend(track.determined_conditions().map(Job::Broadcast));
+        }
+
+        // Dependencies: a process waits for every input it receives on this
+        // path; a broadcast waits for its disjunction process.
+        let mut preds: HashMap<Job, Vec<Job>> = HashMap::with_capacity(jobs.len());
+        for &job in &jobs {
+            let list = match job {
+                Job::Process(pid) => cpg
+                    .in_edges(pid)
+                    .filter(|edge| {
+                        track.contains(edge.from())
+                            && edge
+                                .condition()
+                                .is_none_or(|lit| track.label().contains(lit))
+                    })
+                    .map(|edge| Job::Process(edge.from()))
+                    .collect(),
+                Job::Broadcast(cond) => vec![Job::Process(cpg.disjunction_of(cond))],
+            };
+            preds.insert(job, list);
+        }
+
+        // Guard availability: the run-time scheduler of a processing element
+        // can only activate a job once it can evaluate the job's guard, i.e.
+        // once every condition the guard depends on is known locally (either
+        // computed on the same element or received through a broadcast). The
+        // per-job requirement is the cheapest guard cube satisfied on this
+        // path.
+        let guard_requirements: HashMap<Job, Vec<CondId>> = jobs
+            .iter()
+            .map(|&job| {
+                let guard = match job {
+                    Job::Process(pid) => cpg.guard(pid),
+                    Job::Broadcast(cond) => cpg.guard(cpg.disjunction_of(cond)),
+                };
+                let cube = guard
+                    .cubes()
+                    .iter()
+                    .filter(|cube| track.label().implies(cube))
+                    .min_by_key(|cube| cube.len())
+                    .copied()
+                    .unwrap_or(Cube::top());
+                (job, cube.conditions().collect::<Vec<_>>())
+            })
+            .collect();
+
+        // Exclusive-resource calendars, pre-reserving the locked jobs.
+        let mut calendars: HashMap<PeId, Calendar> = HashMap::new();
+        for (&job, &start) in locks {
+            if let Some(pe) = self.pe_of(job, &broadcast_buses, None) {
+                if self.arch.is_exclusive(pe) {
+                    calendars
+                        .entry(pe)
+                        .or_default()
+                        .reserve(start, self.duration_of(job));
+                }
+            }
+        }
+
+        let mut scheduled: HashMap<Job, ScheduledJob> = HashMap::with_capacity(jobs.len());
+        let mut remaining: Vec<Job> = jobs.clone();
+
+        while !remaining.is_empty() {
+            // Eligible jobs: all predecessors committed.
+            let mut best: Option<(u64, Job)> = None;
+            for &job in &remaining {
+                let eligible = preds[&job]
+                    .iter()
+                    .all(|p| scheduled.contains_key(p));
+                if !eligible {
+                    continue;
+                }
+                let priority = priorities.get(&job).copied().unwrap_or(0);
+                let better = match best {
+                    None => true,
+                    Some((bp, bj)) => priority > bp || (priority == bp && job < bj),
+                };
+                if better {
+                    best = Some((priority, job));
+                }
+            }
+            let (_, job) = best.expect("acyclic graphs always have an eligible job");
+            remaining.retain(|&j| j != job);
+
+            let mut data_ready = preds[&job]
+                .iter()
+                .map(|p| scheduled[p].end())
+                .max()
+                .unwrap_or(Time::ZERO);
+            // The guard of the job must be decidable on its processing
+            // element before it can be activated (requirement 4 of the
+            // paper's Section 3, applied while building the path schedule).
+            if needs_broadcast {
+                let local_pe = match job {
+                    Job::Process(pid) => cpg.mapping(pid),
+                    Job::Broadcast(_) => None,
+                };
+                for &cond in &guard_requirements[&job] {
+                    data_ready =
+                        data_ready.max(condition_available(cpg, &scheduled, cond, local_pe));
+                }
+            }
+            let duration = self.duration_of(job);
+            let entry = if let Some(&lock) = locks.get(&job) {
+                // Locked jobs keep the activation time fixed in the table.
+                let start = lock.max(data_ready);
+                let pe = self.pe_of(job, &broadcast_buses, Some(start));
+                ScheduledJob {
+                    job,
+                    start,
+                    end: start + duration,
+                    pe,
+                }
+            } else {
+                match self.placement(job, &broadcast_buses, data_ready, duration, &calendars) {
+                    Some((pe, start)) => {
+                        if self.arch.is_exclusive(pe) {
+                            calendars.entry(pe).or_default().reserve(start, duration);
+                        }
+                        ScheduledJob {
+                            job,
+                            start,
+                            end: start + duration,
+                            pe: Some(pe),
+                        }
+                    }
+                    // Dummy source/sink: no resource.
+                    None => ScheduledJob {
+                        job,
+                        start: data_ready,
+                        end: data_ready + duration,
+                        pe: None,
+                    },
+                }
+            };
+            scheduled.insert(job, entry);
+        }
+
+        let delay = scheduled
+            .get(&Job::Process(cpg.sink()))
+            .map_or(Time::ZERO, ScheduledJob::start);
+        PathSchedule::new(track.label(), scheduled.into_values().collect(), delay)
+    }
+
+    /// Duration of a job.
+    fn duration_of(&self, job: Job) -> Time {
+        match job {
+            Job::Process(pid) => self.cpg.exec_time(pid),
+            Job::Broadcast(_) => self.broadcast_time,
+        }
+    }
+
+    /// Resource of a job. Broadcasts without a decided start time use the
+    /// first broadcast bus (good enough for lock pre-reservation); with a
+    /// start time they keep that choice.
+    fn pe_of(&self, job: Job, broadcast_buses: &[PeId], _at: Option<Time>) -> Option<PeId> {
+        match job {
+            Job::Process(pid) => self.cpg.mapping(pid),
+            Job::Broadcast(_) => broadcast_buses.first().copied(),
+        }
+    }
+
+    /// Chooses the resource and earliest feasible start for an unlocked job.
+    fn placement(
+        &self,
+        job: Job,
+        broadcast_buses: &[PeId],
+        data_ready: Time,
+        duration: Time,
+        calendars: &HashMap<PeId, Calendar>,
+    ) -> Option<(PeId, Time)> {
+        let fit = |pe: PeId| -> Time {
+            if self.arch.is_exclusive(pe) {
+                calendars
+                    .get(&pe)
+                    .map_or(data_ready, |c| c.earliest_fit(data_ready, duration))
+            } else {
+                data_ready
+            }
+        };
+        match job {
+            Job::Process(pid) => self.cpg.mapping(pid).map(|pe| (pe, fit(pe))),
+            Job::Broadcast(_) => broadcast_buses
+                .iter()
+                .map(|&bus| (bus, fit(bus)))
+                .min_by_key(|&(bus, start)| (start, bus))
+                .or(None),
+        }
+    }
+}
+
+/// The moment the value of `cond` becomes available to the run-time scheduler
+/// of `pe` under the (partially built) schedule `scheduled`: the completion of
+/// the disjunction process on its own processing element, the completion of
+/// the broadcast everywhere else. Jobs without a resource (`pe == None`, i.e.
+/// condition broadcasts whose bus is chosen later, and the dummy processes)
+/// conservatively use the broadcast completion as well.
+fn condition_available(
+    cpg: &Cpg,
+    scheduled: &HashMap<Job, ScheduledJob>,
+    cond: CondId,
+    pe: Option<PeId>,
+) -> Time {
+    let disjunction = cpg.disjunction_of(cond);
+    let computed = scheduled
+        .get(&Job::Process(disjunction))
+        .map_or(Time::ZERO, ScheduledJob::end);
+    match pe {
+        Some(pe) if cpg.mapping(disjunction) == Some(pe) => computed,
+        _ => scheduled
+            .get(&Job::Broadcast(cond))
+            .map_or(computed, ScheduledJob::end),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::{enumerate_tracks, examples, Cube};
+
+    #[test]
+    fn calendar_finds_gaps_and_appends() {
+        let mut cal = Calendar::default();
+        cal.reserve(Time::new(10), Time::new(5));
+        cal.reserve(Time::new(20), Time::new(5));
+        // Fits before the first interval.
+        assert_eq!(cal.earliest_fit(Time::ZERO, Time::new(5)), Time::ZERO);
+        // Does not fit before, lands in the gap between the intervals.
+        assert_eq!(cal.earliest_fit(Time::new(8), Time::new(5)), Time::new(15));
+        // Too long for any gap: appended after the last interval.
+        assert_eq!(cal.earliest_fit(Time::ZERO, Time::new(11)), Time::new(25));
+        // Zero-length reservations are ignored.
+        cal.reserve(Time::new(2), Time::ZERO);
+        assert_eq!(cal.earliest_fit(Time::ZERO, Time::new(5)), Time::ZERO);
+    }
+
+    #[test]
+    fn diamond_schedules_both_tracks_correctly() {
+        let system = examples::diamond();
+        let tracks = enumerate_tracks(system.cpg());
+        let scheduler =
+            ListScheduler::new(system.cpg(), system.arch(), system.broadcast_time());
+        for track in tracks.iter() {
+            let schedule = scheduler.schedule_track(track);
+            schedule.verify(system.cpg(), system.arch()).unwrap();
+            assert_eq!(schedule.label(), track.label());
+            assert!(schedule.delay() > Time::ZERO);
+            // All processes of the track are scheduled.
+            for &p in track.processes() {
+                assert!(schedule.contains(Job::Process(p)), "{p} missing");
+            }
+            // One broadcast per determined condition.
+            for cond in track.determined_conditions() {
+                assert!(schedule.contains(Job::Broadcast(cond)));
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_path_delays_have_the_published_shape() {
+        let system = examples::fig1();
+        let tracks = enumerate_tracks(system.cpg());
+        let scheduler =
+            ListScheduler::new(system.cpg(), system.arch(), system.broadcast_time());
+        let schedules = scheduler.schedule_all(&tracks);
+        assert_eq!(schedules.len(), 6);
+        for (track, schedule) in tracks.iter().zip(&schedules) {
+            schedule.verify(system.cpg(), system.arch()).unwrap();
+            assert_eq!(schedule.label(), track.label());
+        }
+        // The paper's Fig. 2 reports per-path delays between 31 and 39 time
+        // units; the reconstruction should land in the same region.
+        let delays: Vec<u64> = schedules.iter().map(|s| s.delay().as_u64()).collect();
+        let min = *delays.iter().min().unwrap();
+        let max = *delays.iter().max().unwrap();
+        assert!(max >= 30 && max <= 50, "longest path delay {max} out of range");
+        assert!(min >= 20 && min <= max, "shortest path delay {min} out of range");
+    }
+
+    #[test]
+    fn broadcasts_follow_their_disjunction_process() {
+        let system = examples::fig1();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let scheduler = ListScheduler::new(cpg, system.arch(), system.broadcast_time());
+        for track in tracks.iter() {
+            let schedule = scheduler.schedule_track(track);
+            for cond in track.determined_conditions() {
+                let broadcast = schedule.entry(Job::Broadcast(cond)).unwrap();
+                let disjunction = schedule
+                    .end(Job::Process(cpg.disjunction_of(cond)))
+                    .unwrap();
+                assert!(broadcast.start() >= disjunction);
+                assert_eq!(broadcast.duration(), system.broadcast_time());
+                // Broadcasts use a bus.
+                let bus = broadcast.pe().unwrap();
+                assert!(system.arch().kind_of(bus).is_bus());
+            }
+        }
+    }
+
+    #[test]
+    fn condition_known_earlier_on_the_computing_processor() {
+        let system = examples::fig1();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let scheduler = ListScheduler::new(cpg, system.arch(), system.broadcast_time());
+        let c = system.condition("C").unwrap();
+        let track = tracks
+            .iter()
+            .find(|t| t.label().contains(c.is_true()))
+            .unwrap();
+        let schedule = scheduler.schedule_track(track);
+        let own_pe = cpg.mapping(cpg.disjunction_of(c)).unwrap();
+        let other_pe = system
+            .arch()
+            .computation_elements()
+            .find(|&pe| pe != own_pe)
+            .unwrap();
+        let own = schedule.condition_known_at(cpg, c, own_pe).unwrap();
+        let other = schedule.condition_known_at(cpg, c, other_pe).unwrap();
+        assert!(own <= other, "own {own} should not be later than remote {other}");
+        assert!(other >= own + system.broadcast_time());
+    }
+
+    #[test]
+    fn known_conditions_grow_monotonically_with_time() {
+        let system = examples::sensor_actuator();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let scheduler = ListScheduler::new(cpg, system.arch(), system.broadcast_time());
+        for track in tracks.iter() {
+            let schedule = scheduler.schedule_track(track);
+            for pe in system.arch().computation_elements() {
+                let early = schedule.known_conditions(cpg, Some(pe), Time::ZERO);
+                let late = schedule.known_conditions(cpg, Some(pe), Time::new(1_000));
+                assert!(late.implies(&early));
+                assert_eq!(late, track.label().retain(|_| true));
+            }
+        }
+    }
+
+    #[test]
+    fn reschedule_with_locks_pins_the_locked_process() {
+        let system = examples::diamond();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let scheduler = ListScheduler::new(cpg, system.arch(), system.broadcast_time());
+        let track = &tracks.tracks()[0];
+        let original = scheduler.schedule_track(track);
+
+        // Lock the disjunction process three time units later than its
+        // original start.
+        let decide = cpg.process_by_name("decide").unwrap();
+        let original_start = original.start(Job::Process(decide)).unwrap();
+        let locked_start = original_start + Time::new(3);
+        let mut locks = HashMap::new();
+        locks.insert(Job::Process(decide), locked_start);
+
+        let adjusted = scheduler.reschedule(track, &original, &locks);
+        assert_eq!(adjusted.start(Job::Process(decide)), Some(locked_start));
+        // Everything still valid, possibly longer.
+        adjusted.verify(cpg, system.arch()).unwrap();
+        assert!(adjusted.delay() >= original.delay());
+    }
+
+    #[test]
+    fn reschedule_without_locks_reproduces_the_original_delay() {
+        let system = examples::fig1();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let scheduler = ListScheduler::new(cpg, system.arch(), system.broadcast_time());
+        for track in tracks.iter() {
+            let original = scheduler.schedule_track(track);
+            let again = scheduler.reschedule(track, &original, &HashMap::new());
+            again.verify(cpg, system.arch()).unwrap();
+            assert_eq!(again.delay(), original.delay());
+        }
+    }
+
+    #[test]
+    fn reschedule_with_all_jobs_locked_reproduces_the_original() {
+        let system = examples::fig1();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let scheduler = ListScheduler::new(cpg, system.arch(), system.broadcast_time());
+        for track in tracks.iter() {
+            let original = scheduler.schedule_track(track);
+            let locks: HashMap<Job, Time> = original.start_times();
+            let adjusted = scheduler.reschedule(track, &original, &locks);
+            for sj in original.jobs() {
+                assert_eq!(adjusted.start(sj.job()), Some(sj.start()), "{}", sj.job());
+            }
+            assert_eq!(adjusted.delay(), original.delay());
+        }
+    }
+
+    #[test]
+    fn locking_a_process_later_only_delays_downstream_work() {
+        let system = examples::fig1();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let scheduler = ListScheduler::new(cpg, system.arch(), system.broadcast_time());
+        let track = &tracks.tracks()[0];
+        let original = scheduler.schedule_track(track);
+        // Lock an arbitrary mid-schedule process a bit later.
+        let victim = original
+            .jobs()
+            .iter()
+            .find(|sj| {
+                sj.job().as_process().is_some_and(|p| {
+                    !cpg.process(p).kind().is_dummy() && sj.start() > Time::ZERO
+                })
+            })
+            .unwrap();
+        let mut locks = HashMap::new();
+        locks.insert(victim.job(), victim.start() + Time::new(4));
+        let adjusted = scheduler.reschedule(track, &original, &locks);
+        adjusted.verify(cpg, system.arch()).unwrap();
+        assert_eq!(
+            adjusted.start(victim.job()),
+            Some(victim.start() + Time::new(4))
+        );
+        // The same set of jobs is scheduled.
+        assert_eq!(adjusted.len(), original.len());
+    }
+
+    #[test]
+    fn single_processor_architecture_serializes_everything() {
+        use cpg::CpgBuilder;
+        let arch = Architecture::builder().processor("solo").build().unwrap();
+        let solo = arch.pe_by_name("solo").unwrap();
+        let mut b = CpgBuilder::new();
+        let c = b.condition("C");
+        let root = b.process("root", Time::new(2), solo);
+        let x = b.process("x", Time::new(3), solo);
+        let y = b.process("y", Time::new(4), solo);
+        b.conditional_edge(root, x, c.is_true(), Time::ZERO);
+        b.conditional_edge(root, y, c.is_false(), Time::ZERO);
+        let cpg = b.build(&arch).unwrap();
+        let tracks = enumerate_tracks(&cpg);
+        let scheduler = ListScheduler::new(&cpg, &arch, Time::new(1));
+        let s_true = scheduler
+            .schedule_track(tracks.by_label(&Cube::from(c.is_true())).map(|t| t).unwrap());
+        // No broadcast jobs on a single-processor architecture.
+        assert!(!s_true.jobs().iter().any(|j| j.job().is_broadcast()));
+        assert_eq!(s_true.delay(), Time::new(5));
+        let s_false = scheduler
+            .schedule_track(tracks.by_label(&Cube::from(c.is_false())).unwrap());
+        assert_eq!(s_false.delay(), Time::new(6));
+    }
+
+    #[test]
+    fn hardware_processes_may_overlap() {
+        use cpg::CpgBuilder;
+        let arch = Architecture::builder()
+            .processor("cpu")
+            .hardware("asic")
+            .bus("bus")
+            .build()
+            .unwrap();
+        let cpu = arch.pe_by_name("cpu").unwrap();
+        let asic = arch.pe_by_name("asic").unwrap();
+        let mut b = CpgBuilder::new();
+        let feed = b.process("feed", Time::new(1), cpu);
+        let f1 = b.process("f1", Time::new(10), asic);
+        let f2 = b.process("f2", Time::new(10), asic);
+        b.simple_edge(feed, f1, Time::new(1));
+        b.simple_edge(feed, f2, Time::new(1));
+        let cpg = b.build(&arch).unwrap();
+        let cpg = cpg::expand_communications(&cpg, &arch, cpg::BusPolicy::FirstBus).unwrap();
+        let tracks = enumerate_tracks(&cpg);
+        let scheduler = ListScheduler::new(&cpg, &arch, Time::new(1));
+        let schedule = scheduler.schedule_track(&tracks.tracks()[0]);
+        schedule.verify(&cpg, &arch).unwrap();
+        let f1 = cpg.process_by_name("f1").unwrap();
+        let f2 = cpg.process_by_name("f2").unwrap();
+        let s1 = schedule.start(Job::Process(f1)).unwrap();
+        let s2 = schedule.start(Job::Process(f2)).unwrap();
+        // Both hardware processes run in parallel; the two bus transfers are
+        // serialized, so the starts differ by exactly one communication.
+        assert!(s1.as_u64().abs_diff(s2.as_u64()) <= 1);
+        // The delay is far below the serialized 20+ units.
+        assert!(schedule.delay() < Time::new(16));
+    }
+
+    #[test]
+    fn zero_broadcast_time_still_orders_conditions_before_remote_consumers() {
+        let system = examples::diamond();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let scheduler = ListScheduler::new(cpg, system.arch(), Time::ZERO);
+        let c = system.condition("C").unwrap();
+        let track = tracks
+            .iter()
+            .find(|t| t.label().contains(c.is_true()))
+            .unwrap();
+        let schedule = scheduler.schedule_track(track);
+        schedule.verify(cpg, system.arch()).unwrap();
+        // `hot` has guard C and runs on the processor that does not compute
+        // C: even with an instantaneous broadcast it cannot start before the
+        // broadcast has been issued.
+        let hot = cpg.process_by_name("hot").unwrap();
+        let broadcast_done = schedule.end(Job::Broadcast(c)).unwrap();
+        assert!(schedule.start(Job::Process(hot)).unwrap() >= broadcast_done);
+    }
+
+    #[test]
+    fn guarded_processes_never_start_before_their_conditions_are_known_locally() {
+        // The structural property behind requirement 4: in every per-path
+        // schedule, a process whose guard depends on a condition starts only
+        // after that condition is known on its own processing element.
+        let system = examples::fig1();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let scheduler = ListScheduler::new(cpg, system.arch(), system.broadcast_time());
+        for track in tracks.iter() {
+            let schedule = scheduler.schedule_track(track);
+            for sj in schedule.jobs() {
+                let Some(pid) = sj.job().as_process() else { continue };
+                let Some(pe) = cpg.mapping(pid) else { continue };
+                let guard_cube = cpg
+                    .guard(pid)
+                    .cubes()
+                    .iter()
+                    .filter(|cube| track.label().implies(cube))
+                    .min_by_key(|cube| cube.len())
+                    .copied()
+                    .unwrap_or_else(Cube::top);
+                for cond in guard_cube.conditions() {
+                    let known = schedule.condition_known_at(cpg, cond, pe).unwrap();
+                    assert!(
+                        sj.start() >= known,
+                        "{} starts at {} but {} is known on {} only at {}",
+                        cpg.process(pid).name(),
+                        sj.start(),
+                        cpg.condition_name(cond),
+                        system.arch().pe(pe).name(),
+                        known
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn condition_resolutions_are_time_ordered() {
+        let system = examples::fig1();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let scheduler = ListScheduler::new(cpg, system.arch(), system.broadcast_time());
+        for track in tracks.iter() {
+            let schedule = scheduler.schedule_track(track);
+            let resolutions = schedule.condition_resolutions(cpg);
+            assert_eq!(resolutions.len(), track.determined_conditions().count());
+            for pair in resolutions.windows(2) {
+                assert!(pair[0].1 <= pair[1].1);
+            }
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! Execution of a schedule table by distributed run-time schedulers.
+
+use std::collections::HashMap;
+
+use cpg::{Assignment, Cpg, Cube, TrackSet};
+use cpg_arch::{Architecture, PeId, Time};
+use cpg_path_sched::Job;
+use cpg_table::ScheduleTable;
+
+use crate::report::{SimViolation, SimulationReport};
+
+/// Simulator of the run-time behaviour described in Section 3 of the paper:
+/// on every programmable processor and bus a trivial non-preemptive scheduler
+/// activates processes at the times prescribed by the schedule table, based
+/// only on the condition values it has locally observed so far.
+///
+/// The simulator checks the requirements that the static analysis of
+/// `cpg-table` cannot see — in particular requirement 4 (activation decisions
+/// depend only on locally known condition values) and the feasibility of the
+/// tabled times (inputs arrived, no overlap on exclusive resources) — and
+/// measures the actual delay of each execution.
+///
+/// # Example
+///
+/// ```
+/// use cpg::examples;
+/// use cpg_merge::{generate_schedule_table, MergeConfig};
+/// use cpg_sim::Simulator;
+///
+/// let system = examples::fig1();
+/// let result = generate_schedule_table(
+///     system.cpg(),
+///     system.arch(),
+///     &MergeConfig::new(system.broadcast_time()),
+/// );
+/// let simulator = Simulator::new(system.cpg(), system.arch(), result.table(), system.broadcast_time());
+/// let reports = simulator.run_all(result.tracks());
+/// assert!(reports.iter().all(|r| r.is_ok()));
+/// let worst = reports.iter().map(|r| r.delay()).max().unwrap();
+/// assert_eq!(worst, result.delta_max());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Simulator<'a> {
+    cpg: &'a Cpg,
+    arch: &'a Architecture,
+    table: &'a ScheduleTable,
+    broadcast_time: Time,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for a graph, its architecture, a schedule table
+    /// and the condition-broadcast time `τ0`.
+    #[must_use]
+    pub fn new(
+        cpg: &'a Cpg,
+        arch: &'a Architecture,
+        table: &'a ScheduleTable,
+        broadcast_time: Time,
+    ) -> Self {
+        Simulator {
+            cpg,
+            arch,
+            table,
+            broadcast_time,
+        }
+    }
+
+    /// Executes the table for the combination of condition values given by
+    /// `label` (typically the label of one alternative path).
+    #[must_use]
+    pub fn run(&self, label: &Cube) -> SimulationReport {
+        let assignment = Assignment::from_cube(label);
+        let mut violations = Vec::new();
+
+        // Active processes and their tabled activation times.
+        let mut activations: Vec<(Job, Time, Time)> = Vec::new();
+        let mut completion: HashMap<Job, Time> = HashMap::new();
+        let mut active: Vec<Job> = Vec::new();
+        for pid in self.cpg.schedulable_processes() {
+            if !self.cpg.guard(pid).implied_by(label) {
+                continue;
+            }
+            active.push(Job::Process(pid));
+        }
+        let needs_broadcast = self.arch.computation_elements().count() > 1;
+        for cond in label.conditions() {
+            if needs_broadcast {
+                active.push(Job::Broadcast(cond));
+            }
+        }
+
+        for &job in &active {
+            match self.table.activation_time(job, &assignment) {
+                Some(start) => {
+                    let end = start + self.duration_of(job);
+                    completion.insert(job, end);
+                    activations.push((job, start, end));
+                }
+                None => violations.push(SimViolation::NoActivationTime { job }),
+            }
+        }
+        activations.sort_by_key(|&(job, start, _)| (start, job));
+
+        // When is each condition value known on each processing element?
+        let known = self.condition_knowledge(label, &completion, needs_broadcast);
+
+        // Requirement 4: the column that selected each activation only uses
+        // locally known condition values.
+        for &(job, start, _) in &activations {
+            let Some(pe) = self.pe_of(job) else { continue };
+            let column = self.selecting_column(job, &assignment);
+            for lit in column.literals() {
+                let known_at = known.get(&(lit.cond(), pe)).copied();
+                if known_at.is_none_or(|k| k > start) {
+                    violations.push(SimViolation::ConditionNotKnownLocally {
+                        job,
+                        condition: lit.cond(),
+                        activation: start,
+                        known_at,
+                    });
+                }
+            }
+        }
+
+        // Data dependencies: inputs that flow on this execution must have
+        // arrived before the activation time.
+        for &(job, start, _) in &activations {
+            let Some(pid) = job.as_process() else {
+                // Broadcasts depend on their disjunction process.
+                let cond = job.as_broadcast().expect("job is process or broadcast");
+                let disjunction = Job::Process(self.cpg.disjunction_of(cond));
+                if let Some(&arrives) = completion.get(&disjunction) {
+                    if arrives > start {
+                        violations.push(SimViolation::InputNotArrived {
+                            job,
+                            predecessor: disjunction,
+                            activation: start,
+                            arrives,
+                        });
+                    }
+                }
+                continue;
+            };
+            for edge in self.cpg.in_edges(pid) {
+                let transmits = edge.condition().is_none_or(|lit| label.contains(lit));
+                if !transmits {
+                    continue;
+                }
+                let pred = Job::Process(edge.from());
+                if let Some(&arrives) = completion.get(&pred) {
+                    if arrives > start {
+                        violations.push(SimViolation::InputNotArrived {
+                            job,
+                            predecessor: pred,
+                            activation: start,
+                            arrives,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Exclusive resources execute one job at a time.
+        for (i, &(a, a_start, a_end)) in activations.iter().enumerate() {
+            for &(b, b_start, b_end) in activations.iter().skip(i + 1) {
+                let (Some(pa), Some(pb)) = (self.pe_of(a), self.pe_of(b)) else {
+                    continue;
+                };
+                if pa != pb || !self.arch.is_exclusive(pa) {
+                    continue;
+                }
+                let overlap = a_start < b_end && b_start < a_end;
+                if overlap && a_end > a_start && b_end > b_start {
+                    violations.push(SimViolation::ResourceOverlap {
+                        pe: pa,
+                        first: a,
+                        second: b,
+                    });
+                }
+            }
+        }
+
+        let delay = activations
+            .iter()
+            .filter(|(job, _, _)| job.as_process().is_some())
+            .map(|&(_, _, end)| end)
+            .max()
+            .unwrap_or(Time::ZERO);
+
+        SimulationReport {
+            label: *label,
+            activations,
+            delay,
+            violations,
+        }
+    }
+
+    /// Executes the table once per alternative path and returns the reports
+    /// in track order.
+    #[must_use]
+    pub fn run_all(&self, tracks: &TrackSet) -> Vec<SimulationReport> {
+        tracks.iter().map(|t| self.run(&t.label())).collect()
+    }
+
+    /// The worst observed delay over all alternative paths — must equal the
+    /// analytical `δ_max` of the table for a correct table.
+    #[must_use]
+    pub fn worst_case_delay(&self, tracks: &TrackSet) -> Time {
+        self.run_all(tracks)
+            .iter()
+            .map(SimulationReport::delay)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    fn duration_of(&self, job: Job) -> Time {
+        match job {
+            Job::Process(pid) => self.cpg.exec_time(pid),
+            Job::Broadcast(_) => self.broadcast_time,
+        }
+    }
+
+    fn pe_of(&self, job: Job) -> Option<PeId> {
+        match job {
+            Job::Process(pid) => self.cpg.mapping(pid),
+            Job::Broadcast(_) => self.arch.broadcast_buses().next(),
+        }
+    }
+
+    /// The column whose expression selected the activation time of `job` in
+    /// this scenario (the most specific satisfied column).
+    fn selecting_column(&self, job: Job, assignment: &Assignment) -> Cube {
+        self.table
+            .entries(job)
+            .filter(|(column, _)| column.satisfied_by(assignment))
+            .map(|(column, _)| column)
+            .max_by_key(Cube::len)
+            .unwrap_or(Cube::top())
+    }
+
+    /// The moment each condition value becomes known on each processing
+    /// element: on the processing element of the disjunction process at its
+    /// completion, elsewhere when the broadcast completes.
+    fn condition_knowledge(
+        &self,
+        label: &Cube,
+        completion: &HashMap<Job, Time>,
+        needs_broadcast: bool,
+    ) -> HashMap<(cpg::CondId, PeId), Time> {
+        let mut known = HashMap::new();
+        for lit in label.literals() {
+            let cond = lit.cond();
+            let disjunction = self.cpg.disjunction_of(cond);
+            let computed = completion.get(&Job::Process(disjunction)).copied();
+            let broadcast_done = completion.get(&Job::Broadcast(cond)).copied();
+            for pe in self.arch.ids() {
+                let at = if self.cpg.mapping(disjunction) == Some(pe) {
+                    computed
+                } else if needs_broadcast {
+                    // Remote processing elements learn the value only from
+                    // the broadcast; a missing broadcast means they never do.
+                    broadcast_done
+                } else {
+                    computed
+                };
+                if let Some(at) = at {
+                    known.insert((cond, pe), at);
+                }
+            }
+        }
+        known
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::{enumerate_tracks, examples, ProcessId};
+    use cpg_merge::{generate_schedule_table, MergeConfig};
+
+    fn merged(system: &examples::ExampleSystem) -> cpg_merge::MergeResult {
+        generate_schedule_table(
+            system.cpg(),
+            system.arch(),
+            &MergeConfig::new(system.broadcast_time()),
+        )
+    }
+
+    #[test]
+    fn generated_tables_execute_without_violations() {
+        for system in [
+            examples::diamond(),
+            examples::sensor_actuator(),
+            examples::fig1(),
+        ] {
+            let result = merged(&system);
+            let simulator = Simulator::new(
+                system.cpg(),
+                system.arch(),
+                result.table(),
+                system.broadcast_time(),
+            );
+            let reports = simulator.run_all(result.tracks());
+            for report in &reports {
+                assert!(
+                    report.is_ok(),
+                    "violations on {}: {:?}",
+                    report.label(),
+                    report.violations()
+                );
+            }
+            // The simulated worst case equals the analytical worst case.
+            assert_eq!(
+                simulator.worst_case_delay(result.tracks()),
+                result.delta_max()
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_delay_matches_the_tables_track_delay() {
+        let system = examples::fig1();
+        let result = merged(&system);
+        let simulator = Simulator::new(
+            system.cpg(),
+            system.arch(),
+            result.table(),
+            system.broadcast_time(),
+        );
+        for track in result.tracks().iter() {
+            let report = simulator.run(&track.label());
+            assert_eq!(
+                report.delay(),
+                result.table().track_delay(system.cpg(), &track.label())
+            );
+        }
+    }
+
+    #[test]
+    fn empty_table_reports_missing_activations() {
+        let system = examples::diamond();
+        let table = ScheduleTable::new();
+        let tracks = enumerate_tracks(system.cpg());
+        let simulator = Simulator::new(
+            system.cpg(),
+            system.arch(),
+            &table,
+            system.broadcast_time(),
+        );
+        let report = simulator.run(&tracks.tracks()[0].label());
+        assert!(!report.is_ok());
+        assert!(report
+            .violations()
+            .iter()
+            .all(|v| matches!(v, SimViolation::NoActivationTime { .. })));
+    }
+
+    #[test]
+    fn premature_activation_of_a_conditional_process_is_detected() {
+        use cpg::Cube;
+        let system = examples::diamond();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let c = system.condition("C").unwrap();
+        let result = merged(&system);
+        let mut table = result.table().clone();
+
+        // Force `hot` (guard C, mapped on cpu1, away from the disjunction on
+        // cpu0) to start at time 0: condition C cannot be known there yet.
+        let hot = cpg.process_by_name("hot").unwrap();
+        let column = Cube::from(c.is_true());
+        table.set(cpg_path_sched::Job::Process(hot), column, Time::ZERO);
+
+        let simulator = Simulator::new(cpg, system.arch(), &table, system.broadcast_time());
+        let track = tracks
+            .iter()
+            .find(|t| t.label().contains(c.is_true()))
+            .unwrap();
+        let report = simulator.run(&track.label());
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, SimViolation::ConditionNotKnownLocally { .. })));
+    }
+
+    #[test]
+    fn overlapping_activations_are_detected() {
+        use cpg::Cube;
+        let system = examples::diamond();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let result = merged(&system);
+        let mut table = result.table().clone();
+        // Clash two cpu0 processes at the same instant.
+        let decide = cpg.process_by_name("decide").unwrap();
+        let cold = cpg.process_by_name("cold").unwrap();
+        table.set(cpg_path_sched::Job::Process(decide), Cube::top(), Time::ZERO);
+        let not_c = Cube::from(system.condition("C").unwrap().is_false());
+        table.set(cpg_path_sched::Job::Process(cold), not_c, Time::new(1));
+        let simulator = Simulator::new(cpg, system.arch(), &table, system.broadcast_time());
+        let track = tracks.iter().find(|t| t.label() == not_c).unwrap();
+        let report = simulator.run(&track.label());
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(
+                v,
+                SimViolation::ResourceOverlap { .. } | SimViolation::InputNotArrived { .. }
+            )));
+    }
+
+    #[test]
+    fn missing_broadcast_row_is_reported_as_locally_unknown_condition() {
+        let system = examples::diamond();
+        let cpg = system.cpg();
+        let result = merged(&system);
+        let tracks = enumerate_tracks(cpg);
+        let c = system.condition("C").unwrap();
+
+        // Remove the broadcast row: remote processors can never learn C.
+        let mut table = result.table().clone();
+        let broadcast = cpg_path_sched::Job::Broadcast(c);
+        let columns: Vec<_> = table.entries(broadcast).map(|(col, _)| col).collect();
+        for column in columns {
+            table.remove(broadcast, &column);
+        }
+        assert!(!table.contains_job(broadcast));
+
+        let simulator = Simulator::new(cpg, system.arch(), &table, system.broadcast_time());
+        let track = tracks
+            .iter()
+            .find(|t| t.label().contains(c.is_true()))
+            .unwrap();
+        let report = simulator.run(&track.label());
+        // `hot` runs on the processor that does not compute C, so its guard
+        // can never be evaluated there without the broadcast.
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, SimViolation::ConditionNotKnownLocally { known_at: None, .. })));
+    }
+
+    #[test]
+    fn single_processor_systems_need_no_broadcast_rows() {
+        use cpg::CpgBuilder;
+        use cpg_arch::Architecture;
+        let arch = Architecture::builder().processor("solo").build().unwrap();
+        let solo = arch.pe_by_name("solo").unwrap();
+        let mut b = CpgBuilder::new();
+        let c = b.condition("C");
+        let root = b.process("root", Time::new(2), solo);
+        let x = b.process("x", Time::new(3), solo);
+        let y = b.process("y", Time::new(4), solo);
+        b.conditional_edge(root, x, c.is_true(), Time::ZERO);
+        b.conditional_edge(root, y, c.is_false(), Time::ZERO);
+        let cpg = b.build(&arch).unwrap();
+        let result = generate_schedule_table(
+            &cpg,
+            &arch,
+            &MergeConfig::new(Time::new(1)),
+        );
+        let simulator = Simulator::new(&cpg, &arch, result.table(), Time::new(1));
+        let reports = simulator.run_all(result.tracks());
+        assert!(reports.iter().all(SimulationReport::is_ok));
+        assert_eq!(simulator.worst_case_delay(result.tracks()), result.delta_max());
+        // No broadcast activations are simulated on a single processor.
+        for report in &reports {
+            assert!(report
+                .activations()
+                .iter()
+                .all(|(job, _, _)| job.as_broadcast().is_none()));
+        }
+    }
+
+    #[test]
+    fn report_contains_every_active_process() {
+        let system = examples::sensor_actuator();
+        let result = merged(&system);
+        let simulator = Simulator::new(
+            system.cpg(),
+            system.arch(),
+            result.table(),
+            system.broadcast_time(),
+        );
+        for track in result.tracks().iter() {
+            let report = simulator.run(&track.label());
+            for &pid in track.processes() {
+                if system.cpg().process(pid).kind().is_dummy() {
+                    continue;
+                }
+                assert!(
+                    report
+                        .activation_of(cpg_path_sched::Job::Process(pid))
+                        .is_some(),
+                    "{} not simulated",
+                    system.cpg().process(pid).name()
+                );
+            }
+            let _ = ProcessId::from_index(0);
+        }
+    }
+}

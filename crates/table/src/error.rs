@@ -1,0 +1,105 @@
+//! Violations of the schedule-table correctness requirements.
+
+use std::error::Error;
+use std::fmt;
+
+use cpg::Cube;
+use cpg_arch::Time;
+use cpg_path_sched::Job;
+
+/// A violation of one of the four correctness requirements that a schedule
+/// table must satisfy (Section 3 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TableViolation {
+    /// Requirement 1: an activation time is placed in a column whose
+    /// expression does not imply the guard of the process — the process could
+    /// be activated although the conditions required for its execution are
+    /// not fulfilled.
+    GuardViolated {
+        /// The offending row.
+        job: Job,
+        /// The offending column expression.
+        column: Cube,
+    },
+    /// Requirement 2: two different activation times of the same process are
+    /// placed in columns that can be true simultaneously — the run-time
+    /// scheduler could not take a deterministic decision.
+    Nondeterministic {
+        /// The offending row.
+        job: Job,
+        /// First column expression.
+        first: Cube,
+        /// Second, compatible column expression.
+        second: Cube,
+        /// Activation time in the first column.
+        first_time: Time,
+        /// Activation time in the second column.
+        second_time: Time,
+    },
+    /// Requirement 3: a process whose guard becomes true during some execution
+    /// has no applicable activation time in the table for that execution.
+    MissingActivation {
+        /// The offending row.
+        job: Job,
+        /// The label of the execution (alternative path) with no applicable
+        /// column.
+        track: Cube,
+    },
+    /// A row refers to a process or condition that does not exist in the
+    /// graph the table is checked against.
+    UnknownJob {
+        /// The offending row.
+        job: Job,
+    },
+}
+
+impl fmt::Display for TableViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableViolation::GuardViolated { job, column } => {
+                write!(f, "activation of {job} in column `{column}` violates its guard")
+            }
+            TableViolation::Nondeterministic {
+                job,
+                first,
+                second,
+                first_time,
+                second_time,
+            } => write!(
+                f,
+                "activation of {job} is ambiguous: {first_time} under `{first}` but {second_time} under `{second}`"
+            ),
+            TableViolation::MissingActivation { job, track } => {
+                write!(f, "{job} has no activation time applicable to execution `{track}`")
+            }
+            TableViolation::UnknownJob { job } => {
+                write!(f, "row {job} does not correspond to the graph being checked")
+            }
+        }
+    }
+}
+
+impl Error for TableViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::ProcessId;
+
+    #[test]
+    fn violations_format_with_context() {
+        let v = TableViolation::GuardViolated {
+            job: Job::Process(ProcessId::from_index(4)),
+            column: Cube::top(),
+        };
+        assert!(v.to_string().contains("P4"));
+        let v = TableViolation::MissingActivation {
+            job: Job::Process(ProcessId::from_index(1)),
+            track: Cube::top(),
+        };
+        assert!(v.to_string().contains("no activation"));
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<TableViolation>();
+    }
+}

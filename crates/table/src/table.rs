@@ -1,0 +1,607 @@
+//! The schedule table produced by the merging algorithm.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cpg::{Assignment, Cpg, Cube, TrackSet};
+use cpg_arch::Time;
+use cpg_path_sched::Job;
+
+use crate::error::TableViolation;
+
+/// The schedule table: one row per process (and per condition broadcast), one
+/// column per conjunction of condition values, and in each cell the activation
+/// time of the row's job when the column's expression holds.
+///
+/// The table is the artefact a distributed run-time scheduler executes: on
+/// every processing element a trivial non-preemptive scheduler activates a
+/// process at the tabled time as soon as the column expression is satisfied by
+/// the condition values it has seen so far (Section 3 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use cpg::{Cube, CondId, ProcessId};
+/// use cpg_arch::Time;
+/// use cpg_path_sched::Job;
+/// use cpg_table::ScheduleTable;
+///
+/// let mut table = ScheduleTable::new();
+/// let p1 = Job::Process(ProcessId::from_index(1));
+/// let c = CondId::new(0);
+///
+/// table.set(p1, Cube::top(), Time::new(0));
+/// table.set(p1, Cube::from(c.is_true()), Time::new(5));
+/// assert_eq!(table.get(p1, &Cube::top()), Some(Time::new(0)));
+/// assert_eq!(table.num_columns(), 2);
+/// assert_eq!(table.num_rows(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScheduleTable {
+    columns: Vec<Cube>,
+    rows: BTreeMap<Job, BTreeMap<usize, Time>>,
+}
+
+impl ScheduleTable {
+    /// Creates an empty schedule table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of columns (distinct condition-value expressions).
+    #[must_use]
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows (jobs with at least one activation time).
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total number of activation times stored in the table.
+    #[must_use]
+    pub fn num_entries(&self) -> usize {
+        self.rows.values().map(BTreeMap::len).sum()
+    }
+
+    /// `true` when the table holds no activation time at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The column expressions, in insertion order.
+    #[must_use]
+    pub fn columns(&self) -> &[Cube] {
+        &self.columns
+    }
+
+    /// Iterates over the rows (jobs) of the table.
+    pub fn jobs(&self) -> impl Iterator<Item = Job> + '_ {
+        self.rows.keys().copied()
+    }
+
+    /// Records the activation time of `job` in the column headed by `column`,
+    /// creating the column when it does not exist yet. Returns the previously
+    /// stored time for that cell, if any.
+    pub fn set(&mut self, job: Job, column: Cube, time: Time) -> Option<Time> {
+        let index = self.column_index_or_insert(column);
+        self.rows.entry(job).or_default().insert(index, time)
+    }
+
+    /// Removes the activation time of `job` in the column headed by `column`,
+    /// returning it if it was present.
+    pub fn remove(&mut self, job: Job, column: &Cube) -> Option<Time> {
+        let index = self.column_index(column)?;
+        let times = self.rows.get_mut(&job)?;
+        let removed = times.remove(&index);
+        if times.is_empty() {
+            self.rows.remove(&job);
+        }
+        removed
+    }
+
+    /// The activation time of `job` in the column headed exactly by `column`.
+    #[must_use]
+    pub fn get(&self, job: Job, column: &Cube) -> Option<Time> {
+        let index = self.column_index(column)?;
+        self.rows.get(&job)?.get(&index).copied()
+    }
+
+    /// Iterates over the `(column, activation time)` entries of a row.
+    pub fn entries(&self, job: Job) -> impl Iterator<Item = (Cube, Time)> + '_ {
+        self.rows
+            .get(&job)
+            .into_iter()
+            .flat_map(move |times| times.iter().map(|(&i, &t)| (self.columns[i], t)))
+    }
+
+    /// Iterates over every `(job, column, time)` entry of the table.
+    pub fn all_entries(&self) -> impl Iterator<Item = (Job, Cube, Time)> + '_ {
+        self.rows.iter().flat_map(move |(&job, times)| {
+            times.iter().map(move |(&i, &t)| (job, self.columns[i], t))
+        })
+    }
+
+    /// `true` when the row for `job` contains at least one activation time.
+    #[must_use]
+    pub fn contains_job(&self, job: Job) -> bool {
+        self.rows.contains_key(&job)
+    }
+
+    /// The entries of a row that are *compatible* with (not excluded by) the
+    /// given column expression — the potential conflicts examined by the
+    /// table-generation algorithm before placing a new activation time.
+    pub fn compatible_entries<'a>(
+        &'a self,
+        job: Job,
+        column: &'a Cube,
+    ) -> impl Iterator<Item = (Cube, Time)> + 'a {
+        self.entries(job)
+            .filter(move |(existing, _)| existing.compatible(column))
+    }
+
+    /// The activation time applicable during an execution described by a
+    /// complete condition assignment: the entry of the row whose column
+    /// expression is satisfied by the assignment.
+    ///
+    /// When the table satisfies requirement 2 the applicable time is unique;
+    /// if several satisfied columns carry *different* times, `None` is
+    /// returned (callers that need to diagnose this use
+    /// [`ScheduleTable::verify`]).
+    #[must_use]
+    pub fn activation_time(&self, job: Job, assignment: &Assignment) -> Option<Time> {
+        let mut found: Option<Time> = None;
+        for (column, time) in self.entries(job) {
+            if column.satisfied_by(assignment) {
+                match found {
+                    None => found = Some(time),
+                    Some(existing) if existing != time => return None,
+                    Some(_) => {}
+                }
+            }
+        }
+        found
+    }
+
+    /// The activation time applicable on the alternative path labelled
+    /// `label` (shorthand for [`ScheduleTable::activation_time`] with the
+    /// label converted to an assignment).
+    #[must_use]
+    pub fn activation_on_track(&self, job: Job, label: &Cube) -> Option<Time> {
+        self.activation_time(job, &Assignment::from_cube(label))
+    }
+
+    /// The delay of the system on the alternative path labelled `label`: the
+    /// latest completion time (activation + execution) over every process
+    /// activated on that path according to this table.
+    #[must_use]
+    pub fn track_delay(&self, cpg: &Cpg, label: &Cube) -> Time {
+        let assignment = Assignment::from_cube(label);
+        let mut delay = Time::ZERO;
+        for (&job, _) in &self.rows {
+            let Job::Process(pid) = job else { continue };
+            if !cpg.guard(pid).implied_by(label) {
+                continue;
+            }
+            if let Some(start) = self.activation_time(job, &assignment) {
+                delay = delay.max(start + cpg.exec_time(pid));
+            }
+        }
+        delay
+    }
+
+    /// The worst-case delay `δ_max` guaranteed by this table: the maximum of
+    /// [`ScheduleTable::track_delay`] over every alternative path.
+    #[must_use]
+    pub fn worst_case_delay(&self, cpg: &Cpg, tracks: &TrackSet) -> Time {
+        tracks
+            .iter()
+            .map(|t| self.track_delay(cpg, &t.label()))
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Checks the table against requirements 1–3 of Section 3 of the paper:
+    ///
+    /// 1. every activation time sits in a column that implies the guard of
+    ///    its process;
+    /// 2. alternative activation times of the same process sit in mutually
+    ///    exclusive columns;
+    /// 3. every process receives an activation time on every alternative path
+    ///    on which its guard holds.
+    ///
+    /// Requirement 4 (activation decisions use only condition values already
+    /// known on the local processing element) is about the run-time behaviour
+    /// of the table and is checked by the simulator of the `cpg-sim` crate.
+    ///
+    /// # Errors
+    ///
+    /// Returns every violation found (empty result means the table is
+    /// correct).
+    pub fn verify(&self, cpg: &Cpg, tracks: &TrackSet) -> Result<(), Vec<TableViolation>> {
+        let mut violations = Vec::new();
+
+        // Requirement 1 + sanity of row keys.
+        for (job, column, _) in self.all_entries() {
+            let guard = match job {
+                Job::Process(pid) => {
+                    if pid.index() >= cpg.len() {
+                        violations.push(TableViolation::UnknownJob { job });
+                        continue;
+                    }
+                    cpg.guard(pid).clone()
+                }
+                Job::Broadcast(cond) => {
+                    if cond.index() >= cpg.num_conditions() {
+                        violations.push(TableViolation::UnknownJob { job });
+                        continue;
+                    }
+                    cpg.guard(cpg.disjunction_of(cond)).clone()
+                }
+            };
+            if !guard.implied_by(&column) {
+                violations.push(TableViolation::GuardViolated { job, column });
+            }
+        }
+
+        // Requirement 2.
+        for &job in self.rows.keys() {
+            let entries: Vec<(Cube, Time)> = self.entries(job).collect();
+            for (i, &(first, first_time)) in entries.iter().enumerate() {
+                for &(second, second_time) in entries.iter().skip(i + 1) {
+                    if first_time != second_time && first.compatible(&second) {
+                        violations.push(TableViolation::Nondeterministic {
+                            job,
+                            first,
+                            second,
+                            first_time,
+                            second_time,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Requirement 3.
+        for track in tracks.iter() {
+            let assignment = Assignment::from_cube(&track.label());
+            for &pid in track.processes() {
+                if cpg.process(pid).kind().is_dummy() {
+                    continue;
+                }
+                let job = Job::Process(pid);
+                if self.activation_time(job, &assignment).is_none() {
+                    violations.push(TableViolation::MissingActivation {
+                        job,
+                        track: track.label(),
+                    });
+                }
+            }
+            for cond in track.determined_conditions() {
+                let job = Job::Broadcast(cond);
+                if self.contains_job(job) && self.activation_time(job, &assignment).is_none() {
+                    violations.push(TableViolation::MissingActivation {
+                        job,
+                        track: track.label(),
+                    });
+                }
+            }
+        }
+
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Renders the table in the style of the paper's Table 1: one row per
+    /// job, one column per condition expression (named with the graph's
+    /// condition names), cells holding activation times.
+    #[must_use]
+    pub fn render(&self, cpg: &Cpg) -> String {
+        let mut columns: Vec<(usize, &Cube)> = self.columns.iter().enumerate().collect();
+        columns.sort_by_key(|(_, cube)| (cube.len(), format!("{cube}")));
+
+        let job_name = |job: Job| -> String {
+            match job {
+                Job::Process(pid) => cpg.process(pid).name().to_owned(),
+                Job::Broadcast(cond) => format!("{} (broadcast)", cpg.condition_name(cond)),
+            }
+        };
+
+        let mut header = vec!["process".to_owned()];
+        header.extend(columns.iter().map(|(_, cube)| cpg.display_cube(cube)));
+        let mut table_rows: Vec<Vec<String>> = vec![header];
+
+        // Ordinary and communication processes first (by id), then broadcasts.
+        let mut jobs: Vec<Job> = self.rows.keys().copied().collect();
+        jobs.sort_by_key(|job| match job {
+            Job::Process(pid) => (0, pid.index()),
+            Job::Broadcast(cond) => (1, cond.index()),
+        });
+        for job in jobs {
+            let mut row = vec![job_name(job)];
+            for &(index, _) in &columns {
+                let cell = self
+                    .rows
+                    .get(&job)
+                    .and_then(|times| times.get(&index))
+                    .map_or(String::new(), |t| t.to_string());
+                row.push(cell);
+            }
+            table_rows.push(row);
+        }
+
+        // Column widths.
+        let width: Vec<usize> = (0..table_rows[0].len())
+            .map(|c| table_rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        for (i, row) in table_rows.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| format!("{cell:>width$}", width = width[c]))
+                .collect();
+            out.push_str(&line.join(" | "));
+            out.push('\n');
+            if i == 0 {
+                let sep: Vec<String> = width.iter().map(|w| "-".repeat(*w)).collect();
+                out.push_str(&sep.join("-+-"));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    fn column_index(&self, column: &Cube) -> Option<usize> {
+        self.columns.iter().position(|c| c == column)
+    }
+
+    fn column_index_or_insert(&mut self, column: Cube) -> usize {
+        match self.column_index(&column) {
+            Some(index) => index,
+            None => {
+                self.columns.push(column);
+                self.columns.len() - 1
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScheduleTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule table with {} rows, {} columns, {} entries",
+            self.num_rows(),
+            self.num_columns(),
+            self.num_entries()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::{enumerate_tracks, examples, CondId, ProcessId};
+
+    fn c(i: usize) -> CondId {
+        CondId::new(i)
+    }
+
+    fn p(i: usize) -> Job {
+        Job::Process(ProcessId::from_index(i))
+    }
+
+    #[test]
+    fn set_get_remove_round_trip() {
+        let mut table = ScheduleTable::new();
+        assert!(table.is_empty());
+        assert_eq!(table.set(p(1), Cube::top(), Time::new(0)), None);
+        assert_eq!(
+            table.set(p(1), Cube::top(), Time::new(2)),
+            Some(Time::new(0))
+        );
+        assert_eq!(table.get(p(1), &Cube::top()), Some(Time::new(2)));
+        assert_eq!(table.get(p(2), &Cube::top()), None);
+        assert_eq!(table.remove(p(1), &Cube::top()), Some(Time::new(2)));
+        assert!(table.is_empty());
+        assert_eq!(table.remove(p(1), &Cube::top()), None);
+    }
+
+    #[test]
+    fn columns_are_shared_between_rows() {
+        let mut table = ScheduleTable::new();
+        let col = Cube::from(c(0).is_true());
+        table.set(p(1), col, Time::new(1));
+        table.set(p(2), col, Time::new(2));
+        table.set(p(2), Cube::top(), Time::new(0));
+        assert_eq!(table.num_columns(), 2);
+        assert_eq!(table.num_rows(), 2);
+        assert_eq!(table.num_entries(), 3);
+        assert_eq!(table.entries(p(2)).count(), 2);
+        assert_eq!(table.jobs().count(), 2);
+        assert!(table.contains_job(p(1)));
+        assert!(!table.contains_job(p(9)));
+        assert!(table.to_string().contains("3 entries"));
+    }
+
+    #[test]
+    fn activation_time_selects_the_satisfied_column() {
+        let mut table = ScheduleTable::new();
+        let dck: Cube = [c(0).is_true(), c(1).is_true(), c(2).is_true()]
+            .into_iter()
+            .collect();
+        let dck_not: Cube = [c(0).is_true(), c(1).is_true(), c(2).is_false()]
+            .into_iter()
+            .collect();
+        table.set(p(14), dck, Time::new(24));
+        table.set(p(14), dck_not, Time::new(35));
+
+        let mut asg = Assignment::new();
+        asg.assign(c(0), true);
+        asg.assign(c(1), true);
+        asg.assign(c(2), true);
+        assert_eq!(table.activation_time(p(14), &asg), Some(Time::new(24)));
+        asg.assign(c(2), false);
+        assert_eq!(table.activation_time(p(14), &asg), Some(Time::new(35)));
+        asg.assign(c(1), false);
+        assert_eq!(table.activation_time(p(14), &asg), None);
+    }
+
+    #[test]
+    fn ambiguous_activation_yields_none() {
+        let mut table = ScheduleTable::new();
+        table.set(p(3), Cube::from(c(0).is_true()), Time::new(5));
+        table.set(p(3), Cube::from(c(1).is_true()), Time::new(9));
+        let mut asg = Assignment::new();
+        asg.assign(c(0), true);
+        asg.assign(c(1), true);
+        assert_eq!(table.activation_time(p(3), &asg), None);
+        // Same time in compatible columns is fine.
+        let mut table = ScheduleTable::new();
+        table.set(p(3), Cube::from(c(0).is_true()), Time::new(5));
+        table.set(p(3), Cube::from(c(1).is_true()), Time::new(5));
+        assert_eq!(table.activation_time(p(3), &asg), Some(Time::new(5)));
+    }
+
+    #[test]
+    fn compatible_entries_reports_potential_conflicts() {
+        let mut table = ScheduleTable::new();
+        let d = Cube::from(c(1).is_true());
+        let not_d = Cube::from(c(1).is_false());
+        table.set(p(5), d, Time::new(3));
+        table.set(p(5), not_d, Time::new(8));
+        let probe = Cube::from(c(0).is_true());
+        let conflicts: Vec<_> = table.compatible_entries(p(5), &probe).collect();
+        assert_eq!(conflicts.len(), 2);
+        let probe: Cube = [c(0).is_true(), c(1).is_true()].into_iter().collect();
+        let conflicts: Vec<_> = table.compatible_entries(p(5), &probe).collect();
+        assert_eq!(conflicts, vec![(d, Time::new(3))]);
+    }
+
+    #[test]
+    fn verify_detects_guard_and_determinism_violations() {
+        let system = examples::diamond();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let cond = system.condition("C").unwrap();
+        let hot = cpg.process_by_name("hot").unwrap();
+
+        // Guard violation: `hot` (guard C) activated unconditionally.
+        let mut table = ScheduleTable::new();
+        table.set(Job::Process(hot), Cube::top(), Time::new(0));
+        let violations = table.verify(cpg, &tracks).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, TableViolation::GuardViolated { .. })));
+
+        // Determinism violation: two different times in compatible columns.
+        let decide = cpg.process_by_name("decide").unwrap();
+        let mut table = ScheduleTable::new();
+        table.set(Job::Process(decide), Cube::top(), Time::new(0));
+        table.set(
+            Job::Process(decide),
+            Cube::from(cond.is_true()),
+            Time::new(4),
+        );
+        let violations = table.verify(cpg, &tracks).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, TableViolation::Nondeterministic { .. })));
+    }
+
+    #[test]
+    fn verify_detects_missing_activations() {
+        let system = examples::diamond();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let table = ScheduleTable::new();
+        let violations = table.verify(cpg, &tracks).unwrap_err();
+        // Every schedulable process of every track is missing.
+        assert!(violations
+            .iter()
+            .all(|v| matches!(v, TableViolation::MissingActivation { .. })));
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn verify_accepts_a_complete_consistent_table() {
+        let system = examples::diamond();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let cond = system.condition("C").unwrap();
+        let mut table = ScheduleTable::new();
+        // Hand-written consistent table for the diamond example.
+        for track in tracks.iter() {
+            for &pid in track.processes() {
+                if cpg.process(pid).kind().is_dummy() {
+                    continue;
+                }
+                let column = if cpg.guard(pid).is_true() {
+                    Cube::top()
+                } else {
+                    track.label()
+                };
+                // Use deterministic times: same process, same time everywhere.
+                table.set(Job::Process(pid), column, Time::new(pid.index() as u64));
+            }
+        }
+        table.verify(cpg, &tracks).unwrap();
+        let delay = table.worst_case_delay(cpg, &tracks);
+        assert!(delay > Time::ZERO);
+        let _ = cond;
+    }
+
+    #[test]
+    fn track_delay_uses_execution_times() {
+        let system = examples::diamond();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let decide = cpg.process_by_name("decide").unwrap();
+        let mut table = ScheduleTable::new();
+        table.set(Job::Process(decide), Cube::top(), Time::new(10));
+        let label = tracks.tracks()[0].label();
+        // decide takes 2 time units.
+        assert_eq!(table.track_delay(cpg, &label), Time::new(12));
+    }
+
+    #[test]
+    fn render_contains_headers_rows_and_times() {
+        let system = examples::diamond();
+        let cpg = system.cpg();
+        let cond = system.condition("C").unwrap();
+        let decide = cpg.process_by_name("decide").unwrap();
+        let hot = cpg.process_by_name("hot").unwrap();
+        let mut table = ScheduleTable::new();
+        table.set(Job::Process(decide), Cube::top(), Time::new(0));
+        table.set(Job::Process(hot), Cube::from(cond.is_true()), Time::new(3));
+        table.set(Job::Broadcast(cond), Cube::top(), Time::new(2));
+        let rendered = table.render(cpg);
+        assert!(rendered.contains("true"));
+        assert!(rendered.contains('C'));
+        assert!(rendered.contains("decide"));
+        assert!(rendered.contains("hot"));
+        assert!(rendered.contains("C (broadcast)"));
+        assert!(rendered.contains('3'));
+    }
+
+    #[test]
+    fn unknown_jobs_are_reported() {
+        let system = examples::diamond();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let mut table = ScheduleTable::new();
+        table.set(p(999), Cube::top(), Time::new(0));
+        let violations = table.verify(cpg, &tracks).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, TableViolation::UnknownJob { .. })));
+    }
+}

@@ -1,0 +1,68 @@
+//! The paper's real-life example: selecting an implementation architecture
+//! for the OAM block of an ATM switch (F4 level).
+//!
+//! The OAM block has three operating modes; for each candidate architecture
+//! (one or two 486/Pentium processors, one or two memory modules) a schedule
+//! table is generated per mode and the worst-case delays guide the
+//! architecture decision, exactly like the paper's Table 2.
+//!
+//! Run with `cargo run --release --example atm_oam`.
+
+use cps::atm::{evaluate, schedule_mode, MappingStrategy, OamMode, OamPlatform};
+use cps::prelude::*;
+
+fn main() {
+    println!("OAM block architecture exploration (paper Table 2)\n");
+
+    let platforms = OamPlatform::paper_platforms();
+    println!(
+        "{:<20} {:>12} {:>12} {:>12}",
+        "architecture", "mode 1 (ns)", "mode 2 (ns)", "mode 3 (ns)"
+    );
+    let mut per_platform: Vec<(String, Vec<Time>)> = Vec::new();
+    for platform in &platforms {
+        let delays: Vec<Time> = OamMode::all()
+            .iter()
+            .map(|&mode| evaluate(mode, platform).delay())
+            .collect();
+        println!(
+            "{:<20} {:>12} {:>12} {:>12}",
+            platform.name(),
+            delays[0],
+            delays[1],
+            delays[2]
+        );
+        per_platform.push((platform.name(), delays));
+    }
+
+    // A simple selection rule: the cheapest architecture (fewest processors,
+    // slowest CPUs, fewest memories) whose worst mode still meets a deadline.
+    let deadline = Time::new(3600);
+    println!("\nassuming every mode must complete within {deadline} ns:");
+    for (name, delays) in &per_platform {
+        let worst = delays.iter().copied().max().unwrap_or(Time::ZERO);
+        let verdict = if worst <= deadline { "meets" } else { "misses" };
+        println!("  {name:<20} worst mode {worst:>6} ns -> {verdict} the deadline");
+    }
+
+    // Show the schedule table of the most constrained mode on one platform.
+    let chosen = OamPlatform::new(vec![CpuModel::Pentium, CpuModel::Pentium], 2);
+    println!(
+        "\nschedule statistics of mode 1 on {} (balanced mapping):",
+        chosen.name()
+    );
+    let result = schedule_mode(OamMode::Monitoring, &chosen, MappingStrategy::Balanced);
+    println!(
+        "  {} alternative paths, {} table rows, {} columns, {} entries",
+        result.tracks().len(),
+        result.table().num_rows(),
+        result.table().num_columns(),
+        result.table().num_entries()
+    );
+    println!(
+        "  delta_M = {} ns, delta_max = {} ns (+{:.1}%)",
+        result.delta_m(),
+        result.delta_max(),
+        result.overhead_percent()
+    );
+}

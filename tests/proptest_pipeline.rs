@@ -1,0 +1,90 @@
+//! Property-based tests of the complete scheduling pipeline: for arbitrary
+//! generator configurations within the experiment space, the generated
+//! schedule table must satisfy the paper's requirements and execute cleanly.
+
+use proptest::prelude::*;
+
+use cps::model::enumerate_tracks;
+use cps::prelude::*;
+
+/// Strategy over generator configurations kept small enough for fast
+/// shrinking while still covering conditional structure, heterogeneous
+/// architectures and both execution-time distributions.
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        12usize..40,
+        2usize..8,
+        1usize..5,
+        1usize..4,
+        any::<u64>(),
+        prop::bool::ANY,
+    )
+        .prop_map(|(nodes, paths, processors, buses, seed, exponential)| {
+            let distribution = if exponential {
+                cps::gen::ExecTimeDistribution::Exponential { mean: 7.0 }
+            } else {
+                cps::gen::ExecTimeDistribution::Uniform { min: 1, max: 15 }
+            };
+            GeneratorConfig::new(nodes.max(3 * paths), paths)
+                .with_processors(processors)
+                .with_buses(buses)
+                .with_distribution(distribution)
+                .with_seed(seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_tables_are_correct_for_arbitrary_systems(config in config_strategy()) {
+        let system = generate(&config);
+        let tracks = enumerate_tracks(system.cpg());
+        prop_assert_eq!(tracks.len(), config.target_paths());
+
+        let result = generate_schedule_table(
+            system.cpg(),
+            system.arch(),
+            &MergeConfig::new(system.broadcast_time()),
+        );
+        // Requirements 1-3.
+        prop_assert!(result.table().verify(system.cpg(), result.tracks()).is_ok());
+        prop_assert_eq!(result.stats().unrepaired_conflicts, 0);
+
+        // Requirement 4 and feasibility, via simulation of every scenario.
+        let simulator = Simulator::new(
+            system.cpg(),
+            system.arch(),
+            result.table(),
+            system.broadcast_time(),
+        );
+        let reports = simulator.run_all(result.tracks());
+        for report in &reports {
+            prop_assert!(report.is_ok(), "violations: {:?}", report.violations());
+        }
+        // The analytical worst case equals the simulated worst case.
+        let observed = reports.iter().map(SimulationReport::delay).max().unwrap();
+        prop_assert_eq!(observed, result.delta_max());
+    }
+
+    #[test]
+    fn per_path_schedules_respect_resources_and_dependencies(config in config_strategy()) {
+        let system = generate(&config);
+        let tracks = enumerate_tracks(system.cpg());
+        let scheduler = ListScheduler::new(
+            system.cpg(),
+            system.arch(),
+            system.broadcast_time(),
+        );
+        for track in tracks.iter() {
+            let schedule = scheduler.schedule_track(track);
+            prop_assert!(schedule.verify(system.cpg(), system.arch()).is_ok());
+            prop_assert_eq!(schedule.label(), track.label());
+            // Every process of the path and every determined condition is
+            // scheduled.
+            for &p in track.processes() {
+                prop_assert!(schedule.contains(Job::Process(p)));
+            }
+        }
+    }
+}
