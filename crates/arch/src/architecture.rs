@@ -244,7 +244,11 @@ impl ArchitectureBuilder {
     /// * [`BuildArchitectureError::NoBroadcastBus`] when buses exist but none is
     ///   connected to all processors.
     pub fn build(self) -> Result<Architecture, BuildArchitectureError> {
-        let computation = self.pes.iter().filter(|pe| pe.kind.is_computation()).count();
+        let computation = self
+            .pes
+            .iter()
+            .filter(|pe| pe.kind.is_computation())
+            .count();
         if computation == 0 {
             return Err(BuildArchitectureError::NoComputationResource);
         }
@@ -359,7 +363,10 @@ mod tests {
     #[test]
     fn multiprocessor_without_bus_is_rejected() {
         assert_eq!(
-            Architecture::builder().processor("a").processor("b").build(),
+            Architecture::builder()
+                .processor("a")
+                .processor("b")
+                .build(),
             Err(BuildArchitectureError::NoBus)
         );
     }

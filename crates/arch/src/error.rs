@@ -32,7 +32,10 @@ impl fmt::Display for BuildArchitectureError {
                 write!(f, "multiple processors but no bus to connect them")
             }
             BuildArchitectureError::NoBroadcastBus => {
-                write!(f, "no bus is connected to all processors, condition broadcast impossible")
+                write!(
+                    f,
+                    "no bus is connected to all processors, condition broadcast impossible"
+                )
             }
         }
     }

@@ -154,8 +154,7 @@ pub fn build_mode_graph(
         .builder
         .build(arch)
         .expect("OAM mode graphs are structurally valid");
-    expand_communications(&cpg, arch, BusPolicy::FirstBus)
-        .expect("OAM mode graphs expand cleanly")
+    expand_communications(&cpg, arch, BusPolicy::FirstBus).expect("OAM mode graphs expand cleanly")
 }
 
 struct Ctx<'a> {
@@ -224,7 +223,13 @@ impl<'a> Ctx<'a> {
     }
 
     /// A sequential chain of `n` computation processes.
-    fn chain(&mut self, n: usize, base_ns: u64, lane: usize, comm_ns: u64) -> (ProcessId, ProcessId) {
+    fn chain(
+        &mut self,
+        n: usize,
+        base_ns: u64,
+        lane: usize,
+        comm_ns: u64,
+    ) -> (ProcessId, ProcessId) {
         assert!(n > 0);
         let first = self.compute(base_ns, lane);
         let mut last = first;

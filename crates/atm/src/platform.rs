@@ -83,8 +83,14 @@ impl OamPlatform {
     /// Panics if there is no processor or no memory module.
     #[must_use]
     pub fn new(processors: Vec<CpuModel>, memory_modules: usize) -> Self {
-        assert!(!processors.is_empty(), "a platform needs at least one processor");
-        assert!(memory_modules >= 1, "a platform needs at least one memory module");
+        assert!(
+            !processors.is_empty(),
+            "a platform needs at least one processor"
+        );
+        assert!(
+            memory_modules >= 1,
+            "a platform needs at least one memory module"
+        );
         // Put the faster processor first so that the mapping heuristics place
         // the critical chains on it.
         let mut processors = processors;

@@ -75,10 +75,7 @@ pub fn evaluate_config(config: &GeneratorConfig) -> SuiteOutcome {
     let result = generate_schedule_table(system.cpg(), system.arch(), &merge_config);
     let merge_seconds = merge_start.elapsed().as_secs_f64();
 
-    debug_assert!(result
-        .table()
-        .verify(system.cpg(), result.tracks())
-        .is_ok());
+    debug_assert!(result.table().verify(system.cpg(), result.tracks()).is_ok());
 
     SuiteOutcome {
         config: config.clone(),
@@ -203,13 +200,16 @@ pub fn fig1_merge() -> (examples::ExampleSystem, MergeResult) {
 pub fn fig2_report() -> String {
     let (system, result) = fig1_merge();
     let mut out = String::new();
-    let _ = writeln!(out, "Length of the optimal schedule of the alternative paths (Fig. 2):");
+    let _ = writeln!(
+        out,
+        "Length of the optimal schedule of the alternative paths (Fig. 2):"
+    );
     let mut delays: Vec<(String, Time)> = result
         .path_schedules()
         .iter()
         .map(|s| (system.cpg().display_cube(&s.label()), s.delay()))
         .collect();
-    delays.sort_by(|a, b| b.1.cmp(&a.1));
+    delays.sort_by_key(|(_, delay)| std::cmp::Reverse(*delay));
     for (label, delay) in &delays {
         let _ = writeln!(out, "  {label:>12}  {delay}");
     }
@@ -218,7 +218,11 @@ pub fn fig2_report() -> String {
         let decided = system.cpg().display_cube(&step.decided);
         let cond = system.cpg().condition_name(step.condition);
         let current = system.cpg().display_cube(&step.current_path);
-        let kind = if step.back_step { "back-step" } else { "continue" };
+        let kind = if step.back_step {
+            "back-step"
+        } else {
+            "continue"
+        };
         let _ = writeln!(
             out,
             "  at [{decided}] condition {cond} resolved at t={} -> {kind}, current path {current}",
@@ -263,7 +267,11 @@ pub fn table1_report() -> String {
         "simulator cross-check: {} executions, {} violations, worst delay {}",
         reports.len(),
         violations,
-        reports.iter().map(|r| r.delay()).max().unwrap_or(Time::ZERO)
+        reports
+            .iter()
+            .map(|r| r.delay())
+            .max()
+            .unwrap_or(Time::ZERO)
     );
     out
 }
@@ -330,7 +338,9 @@ pub fn fig4_report() -> String {
         .iter()
         .filter_map(|sj| {
             let job = sj.job();
-            let time = result.table().activation_on_track(job, &secondary.label())?;
+            let time = result
+                .table()
+                .activation_on_track(job, &secondary.label())?;
             let name = match job {
                 cpg_path_sched::Job::Process(pid) => {
                     if cpg.process(pid).kind().is_dummy() {
@@ -362,9 +372,18 @@ pub fn fig4_report() -> String {
 #[must_use]
 pub fn paper_table2_reference() -> [(usize, [u64; 10]); 3] {
     [
-        (1, [4471, 2701, 4471, 2701, 2932, 2131, 2532, 2932, 1932, 2532]),
-        (2, [1732, 1167, 1732, 1167, 1732, 1167, 1167, 1732, 1167, 1167]),
-        (3, [5852, 3548, 5852, 3548, 5033, 3548, 3548, 5033, 3548, 3548]),
+        (
+            1,
+            [4471, 2701, 4471, 2701, 2932, 2131, 2532, 2932, 1932, 2532],
+        ),
+        (
+            2,
+            [1732, 1167, 1732, 1167, 1732, 1167, 1167, 1732, 1167, 1167],
+        ),
+        (
+            3,
+            [5852, 3548, 5852, 3548, 5033, 3548, 3548, 5033, 3548, 3548],
+        ),
     ]
 }
 
@@ -415,7 +434,10 @@ pub fn ablation_report(graphs: usize) -> String {
         })
         .collect();
 
-    let _ = writeln!(out, "Back-step selection policy (average increase of dmax over dM):");
+    let _ = writeln!(
+        out,
+        "Back-step selection policy (average increase of dmax over dM):"
+    );
     for policy in [
         SelectionPolicy::LongestDelayFirst,
         SelectionPolicy::ShortestDelayFirst,

@@ -76,17 +76,17 @@ pub fn condition_oblivious_baseline(
     for id in cpg.process_ids() {
         let process = cpg.process(id);
         let new_id = match process.kind() {
-            ProcessKind::Ordinary => {
-                builder.process(
-                    process.name().to_owned(),
-                    process.exec_time(),
-                    process.mapping().expect("ordinary processes are mapped"),
-                )
-            }
+            ProcessKind::Ordinary => builder.process(
+                process.name().to_owned(),
+                process.exec_time(),
+                process.mapping().expect("ordinary processes are mapped"),
+            ),
             ProcessKind::Communication => builder.communication(
                 process.name().to_owned(),
                 process.exec_time(),
-                process.mapping().expect("communication processes are mapped"),
+                process
+                    .mapping()
+                    .expect("communication processes are mapped"),
             ),
             ProcessKind::Source | ProcessKind::Sink => continue,
         };
@@ -160,11 +160,8 @@ mod tests {
                 system.arch(),
                 &MergeConfig::new(system.broadcast_time()),
             );
-            let baseline = condition_oblivious_baseline(
-                system.cpg(),
-                system.arch(),
-                system.broadcast_time(),
-            );
+            let baseline =
+                condition_oblivious_baseline(system.cpg(), system.arch(), system.broadcast_time());
             assert!(
                 baseline.delay() >= merged.delta_max(),
                 "baseline {} should not beat merged {}",

@@ -302,9 +302,7 @@ impl Merger<'_> {
         for job in self.track_jobs(track) {
             let mut best: Option<(usize, Time)> = None;
             for (column, time) in self.table.entries(job) {
-                let ancestors_only = column
-                    .conditions()
-                    .all(|c| ancestors.value(c).is_some());
+                let ancestors_only = column.conditions().all(|c| ancestors.value(c).is_some());
                 if ancestors_only && decided_cube.implies(&column) {
                     let specificity = column.len();
                     if best.is_none_or(|(len, _)| specificity > len) {
@@ -417,7 +415,10 @@ mod tests {
     fn diamond_table_is_correct_and_tight() {
         let system = examples::diamond();
         let result = merge(&system);
-        result.table().verify(system.cpg(), result.tracks()).unwrap();
+        result
+            .table()
+            .verify(system.cpg(), result.tracks())
+            .unwrap();
         assert_eq!(result.tracks().len(), 2);
         assert!(result.delta_max() >= result.delta_m());
         assert_eq!(result.stats().unrepaired_conflicts, 0);
@@ -443,7 +444,10 @@ mod tests {
     fn sensor_actuator_table_is_correct() {
         let system = examples::sensor_actuator();
         let result = merge(&system);
-        result.table().verify(system.cpg(), result.tracks()).unwrap();
+        result
+            .table()
+            .verify(system.cpg(), result.tracks())
+            .unwrap();
         assert_eq!(result.tracks().len(), 3);
         assert_eq!(result.stats().unrepaired_conflicts, 0);
         assert!(result.delta_max() >= result.delta_m());
@@ -453,7 +457,10 @@ mod tests {
     fn fig1_reproduces_the_papers_headline_behaviour() {
         let system = examples::fig1();
         let result = merge(&system);
-        result.table().verify(system.cpg(), result.tracks()).unwrap();
+        result
+            .table()
+            .verify(system.cpg(), result.tracks())
+            .unwrap();
         assert_eq!(result.tracks().len(), 6);
         assert_eq!(result.stats().unrepaired_conflicts, 0);
         // For the Fig. 1 example the paper obtains delta_max = delta_M = 39:
@@ -551,13 +558,13 @@ mod tests {
             SelectionPolicy::EnumerationOrder,
         ];
         for policy in policies {
-            let result = generate_schedule_table(
-                system.cpg(),
-                system.arch(),
-                &base.with_selection(policy),
-            );
+            let result =
+                generate_schedule_table(system.cpg(), system.arch(), &base.with_selection(policy));
             // Every policy produces a correct table; only the delay differs.
-            result.table().verify(system.cpg(), result.tracks()).unwrap();
+            result
+                .table()
+                .verify(system.cpg(), result.tracks())
+                .unwrap();
             assert_eq!(result.stats().unrepaired_conflicts, 0);
         }
         // The paper's policy guarantees the longest path keeps its optimal

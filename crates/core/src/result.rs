@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use cpg::{Cpg, CondId, Cube, TrackSet};
+use cpg::{CondId, Cpg, Cube, TrackSet};
 use cpg_arch::Time;
 use cpg_path_sched::PathSchedule;
 use cpg_table::ScheduleTable;

@@ -289,7 +289,9 @@ impl Cube {
         let mut out = Cube::top();
         for lit in self.literals() {
             if keep(lit.cond()) {
-                out = out.and(lit).expect("subset of a consistent cube is consistent");
+                out = out
+                    .and(lit)
+                    .expect("subset of a consistent cube is consistent");
             }
         }
         out
@@ -317,15 +319,19 @@ impl Cube {
     /// `true` when a complete assignment satisfies this conjunction.
     #[must_use]
     pub fn satisfied_by(&self, assignment: &Assignment) -> bool {
-        self.literals().all(|lit| assignment.value(lit.cond()) == Some(lit.value()))
+        self.literals()
+            .all(|lit| assignment.value(lit.cond()) == Some(lit.value()))
     }
 
     /// `true` when a (possibly partial) assignment is consistent with this
     /// conjunction, i.e. assigns no condition the opposite polarity.
     #[must_use]
     pub fn consistent_with(&self, assignment: &Assignment) -> bool {
-        self.literals()
-            .all(|lit| assignment.value(lit.cond()).is_none_or(|v| v == lit.value()))
+        self.literals().all(|lit| {
+            assignment
+                .value(lit.cond())
+                .is_none_or(|v| v == lit.value())
+        })
     }
 
     /// Renders the cube with the given condition names, using `true` for the
@@ -584,7 +590,8 @@ impl Guard {
                 break;
             }
         }
-        self.cubes.sort_by_key(|cube| (cube.len(), cube.positive, cube.negative));
+        self.cubes
+            .sort_by_key(|cube| (cube.len(), cube.positive, cube.negative));
     }
 }
 
@@ -869,9 +876,7 @@ mod tests {
     fn display_uses_paper_like_notation() {
         let cube: Cube = [c(0).is_true(), c(2).is_false()].into_iter().collect();
         assert_eq!(cube.to_string(), "c0&!c2");
-        let named = cube.display_with(&|cond| {
-            ["C", "D", "K"][cond.index()].to_owned()
-        });
+        let named = cube.display_with(&|cond| ["C", "D", "K"][cond.index()].to_owned());
         assert_eq!(named, "C&!K");
         assert_eq!(Cube::top().display_with(&|_| unreachable!()), "true");
     }
@@ -984,8 +989,12 @@ mod tests {
     #[test]
     fn guard_implied_by_cube() {
         let guard = Guard::from_cubes([
-            [c(0).is_true(), c(1).is_true()].into_iter().collect::<Cube>(),
-            [c(0).is_false(), c(2).is_true()].into_iter().collect::<Cube>(),
+            [c(0).is_true(), c(1).is_true()]
+                .into_iter()
+                .collect::<Cube>(),
+            [c(0).is_false(), c(2).is_true()]
+                .into_iter()
+                .collect::<Cube>(),
         ]);
         let track: Cube = [c(0).is_true(), c(1).is_true(), c(2).is_false()]
             .into_iter()

@@ -130,7 +130,10 @@ mod tests {
         assert!(dot.starts_with("digraph cpg {"));
         assert!(dot.trim_end().ends_with('}'));
         for id in system.cpg().process_ids() {
-            assert!(dot.contains(&format!("n{} ", id.index())) || dot.contains(&format!("n{} [", id.index())));
+            assert!(
+                dot.contains(&format!("n{} ", id.index()))
+                    || dot.contains(&format!("n{} [", id.index()))
+            );
         }
         let arrow_count = dot.matches("->").count();
         assert_eq!(arrow_count, system.cpg().edges().len());

@@ -92,7 +92,10 @@ impl fmt::Display for BuildCpgError {
                 write!(f, "process `{process}` is mapped to a bus; ordinary processes need a processor or hardware element")
             }
             BuildCpgError::CommunicationNotOnBus { process } => {
-                write!(f, "communication process `{process}` must be mapped to a bus")
+                write!(
+                    f,
+                    "communication process `{process}` must be mapped to a bus"
+                )
             }
             BuildCpgError::Cycle => write!(f, "conditional process graphs must be acyclic"),
             BuildCpgError::SelfLoop { process } => {
@@ -102,13 +105,22 @@ impl fmt::Display for BuildCpgError {
                 write!(f, "duplicate edge from `{from}` to `{to}`")
             }
             BuildCpgError::MixedConditions { process } => {
-                write!(f, "process `{process}` has conditional output edges over more than one condition")
+                write!(
+                    f,
+                    "process `{process}` has conditional output edges over more than one condition"
+                )
             }
             BuildCpgError::ConditionComputedTwice { condition } => {
-                write!(f, "condition `{condition}` is computed by more than one disjunction process")
+                write!(
+                    f,
+                    "condition `{condition}` is computed by more than one disjunction process"
+                )
             }
             BuildCpgError::UnusedCondition { condition } => {
-                write!(f, "condition `{condition}` never appears on a conditional edge")
+                write!(
+                    f,
+                    "condition `{condition}` never appears on a conditional edge"
+                )
             }
             BuildCpgError::MissingPolarity { process, condition } => {
                 write!(f, "disjunction process `{process}` lacks a branch for one value of condition `{condition}`")

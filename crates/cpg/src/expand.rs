@@ -110,8 +110,12 @@ pub fn expand_communications(
             // polar edges automatically.
             continue;
         };
-        let from_pe = cpg.mapping(edge.from()).expect("ordinary processes are mapped");
-        let to_pe = cpg.mapping(edge.to()).expect("ordinary processes are mapped");
+        let from_pe = cpg
+            .mapping(edge.from())
+            .expect("ordinary processes are mapped");
+        let to_pe = cpg
+            .mapping(edge.to())
+            .expect("ordinary processes are mapped");
         if from_pe == to_pe {
             match edge.condition() {
                 Some(lit) => builder.conditional_edge(from, to, lit, edge.comm_time()),
@@ -279,10 +283,7 @@ mod tests {
 
         // The communication inherits the guard C; the destination keeps it too.
         let comm = full.communication_processes().next().unwrap();
-        assert_eq!(
-            full.guard(comm).as_cube(),
-            Some(Cube::from(c.is_true()))
-        );
+        assert_eq!(full.guard(comm).as_cube(), Some(Cube::from(c.is_true())));
         let t_new = full.process_by_name("t").unwrap();
         assert_eq!(full.guard(t_new).as_cube(), Some(Cube::from(c.is_true())));
         // The disjunction process is still `root`.

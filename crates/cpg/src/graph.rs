@@ -444,13 +444,7 @@ impl CpgBuilder {
     /// # Panics
     ///
     /// Panics if either endpoint was not created by this builder.
-    pub fn simple_edge_via(
-        &mut self,
-        from: ProcessId,
-        to: ProcessId,
-        comm_time: Time,
-        via: PeId,
-    ) {
+    pub fn simple_edge_via(&mut self, from: ProcessId, to: ProcessId, comm_time: Time, via: PeId) {
         self.push_edge(from, to, None, comm_time, Some(via));
     }
 
@@ -677,9 +671,7 @@ impl CpgBuilder {
                 if pid == sink {
                     Guard::always()
                 } else {
-                    terms
-                        .iter()
-                        .fold(Guard::never(), |acc, term| acc.or(term))
+                    terms.iter().fold(Guard::never(), |acc, term| acc.or(term))
                 }
             } else {
                 let mut acc = Guard::always();
@@ -730,7 +722,9 @@ impl CpgBuilder {
 
     fn validate_mappings(&self, arch: &Architecture) -> Result<(), BuildCpgError> {
         for spec in &self.processes {
-            let pe = spec.mapping.expect("builder processes always carry a mapping");
+            let pe = spec
+                .mapping
+                .expect("builder processes always carry a mapping");
             if pe.index() >= arch.len() {
                 return Err(BuildCpgError::UnknownProcessingElement {
                     process: spec.name.clone(),
@@ -1035,7 +1029,10 @@ mod tests {
         let mut b = Cpg::builder();
         let a = b.process("A", Time::new(1), pe(&arch, "pe1"));
         b.simple_edge(a, a, Time::ZERO);
-        assert!(matches!(b.build(&arch), Err(BuildCpgError::SelfLoop { .. })));
+        assert!(matches!(
+            b.build(&arch),
+            Err(BuildCpgError::SelfLoop { .. })
+        ));
 
         let mut b = Cpg::builder();
         let a = b.process("A", Time::new(1), pe(&arch, "pe1"));
@@ -1096,7 +1093,10 @@ mod tests {
         let topo = cpg.topological_order();
         let pos = |p: ProcessId| topo.iter().position(|&x| x == p).unwrap();
         for edge in cpg.edges() {
-            assert!(pos(edge.from()) < pos(edge.to()), "edge violates topo order");
+            assert!(
+                pos(edge.from()) < pos(edge.to()),
+                "edge violates topo order"
+            );
         }
         assert_eq!(topo.len(), cpg.len());
         assert_eq!(topo[0], cpg.source());

@@ -98,9 +98,7 @@ impl Track {
         id: ProcessId,
     ) -> impl Iterator<Item = ProcessId> + 'a {
         cpg.out_edges(id).filter_map(move |edge| {
-            let transmits = edge
-                .condition()
-                .is_none_or(|lit| self.label.contains(lit));
+            let transmits = edge.condition().is_none_or(|lit| self.label.contains(lit));
             (transmits && self.contains(edge.to())).then_some(edge.to())
         })
     }

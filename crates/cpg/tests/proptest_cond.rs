@@ -34,6 +34,14 @@ fn universe() -> Vec<Assignment> {
 }
 
 proptest! {
+    // Pinned case count and shrink budget: CI runs must be deterministic and
+    // fast regardless of PROPTEST_CASES / PROPTEST_MAX_SHRINK_ITERS in the
+    // environment.
+    #![proptest_config(ProptestConfig {
+        cases: 128,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
     #[test]
     fn conjunction_matches_truth_table_semantics(a in cube_strategy(), b in cube_strategy()) {
         match a.and_cube(&b) {

@@ -70,7 +70,10 @@ impl GeneratorConfig {
     #[must_use]
     pub fn new(nodes: usize, target_paths: usize) -> Self {
         assert!(nodes > 0, "a generated graph needs at least one process");
-        assert!(target_paths > 0, "a graph has at least one alternative path");
+        assert!(
+            target_paths > 0,
+            "a graph has at least one alternative path"
+        );
         GeneratorConfig {
             nodes,
             target_paths,

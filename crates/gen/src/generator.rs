@@ -3,9 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use cpg::{
-    enumerate_tracks, expand_communications, BusPolicy, Cpg, CpgBuilder, Cube, ProcessId,
-};
+use cpg::{enumerate_tracks, expand_communications, BusPolicy, Cpg, CpgBuilder, Cube, ProcessId};
 use cpg_arch::{Architecture, PeId, Time};
 
 use crate::config::{ExecTimeDistribution, GeneratorConfig};
@@ -172,8 +170,8 @@ fn factorize_into_stages(target: usize, budget: usize, rng: &mut StdRng) -> Vec<
         let current: usize = factors.iter().map(|&k| stage_cost(k)).sum();
         let i = rng.random_range(0..factors.len() - 1);
         let merged = factors[i] * factors[i + 1];
-        let new_cost = current - stage_cost(factors[i]) - stage_cost(factors[i + 1])
-            + stage_cost(merged);
+        let new_cost =
+            current - stage_cost(factors[i]) - stage_cost(factors[i + 1]) + stage_cost(merged);
         if new_cost <= budget && rng.random_bool(0.4) {
             factors[i] = merged;
             factors.remove(i + 1);
@@ -227,9 +225,7 @@ impl Generator<'_> {
 
     fn exec_time(&mut self) -> Time {
         let units = match self.config.distribution() {
-            ExecTimeDistribution::Uniform { min, max } => {
-                self.rng.random_range(min..=max.max(min))
-            }
+            ExecTimeDistribution::Uniform { min, max } => self.rng.random_range(min..=max.max(min)),
             ExecTimeDistribution::Exponential { mean } => {
                 let u: f64 = self.rng.random();
                 let sample = -mean * (1.0 - u).ln();
@@ -261,9 +257,7 @@ impl Generator<'_> {
         let false_paths = paths - true_paths;
 
         let (disjunction, _) = self.new_process(cube);
-        let cond = self
-            .builder
-            .condition(format!("c{}", self.conditions));
+        let cond = self.builder.condition(format!("c{}", self.conditions));
         self.conditions += 1;
 
         let true_cube = cube

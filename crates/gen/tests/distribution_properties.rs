@@ -71,14 +71,8 @@ fn path_counts_of_the_full_suite_match_the_papers_parameters() {
     }
     for config in suite.iter().take(6) {
         let system = generate(config);
-        assert_eq!(
-            enumerate_tracks(system.cpg()).len(),
-            config.target_paths()
-        );
-        assert_eq!(
-            system.cpg().ordinary_processes().count(),
-            config.nodes()
-        );
+        assert_eq!(enumerate_tracks(system.cpg()).len(), config.target_paths());
+        assert_eq!(system.cpg().ordinary_processes().count(), config.nodes());
     }
 }
 

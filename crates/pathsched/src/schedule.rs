@@ -25,11 +25,7 @@ pub struct PathSchedule {
 impl PathSchedule {
     pub(crate) fn new(label: Cube, mut jobs: Vec<ScheduledJob>, delay: Time) -> Self {
         jobs.sort_by_key(|j| (j.start(), j.end(), j.job()));
-        let index = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| (j.job(), i))
-            .collect();
+        let index = jobs.iter().enumerate().map(|(i, j)| (j.job(), i)).collect();
         PathSchedule {
             label,
             jobs,
@@ -158,8 +154,7 @@ impl PathSchedule {
                 Some(pe) => self.condition_known_at(cpg, lit.cond(), pe),
                 // Jobs without a resource (dummy processes) see a condition as
                 // soon as it is computed anywhere.
-                None => self
-                    .end(Job::Process(cpg.disjunction_of(lit.cond()))),
+                None => self.end(Job::Process(cpg.disjunction_of(lit.cond()))),
             };
             if known.is_some_and(|known| known <= t) {
                 cube = cube
@@ -188,9 +183,7 @@ impl PathSchedule {
             for edge in cpg.in_edges(pid) {
                 let pred = Job::Process(edge.from());
                 if let Some(pred_end) = self.end(pred) {
-                    let transmits = edge
-                        .condition()
-                        .is_none_or(|lit| self.label.contains(lit));
+                    let transmits = edge.condition().is_none_or(|lit| self.label.contains(lit));
                     if transmits && pred_end > sj.start() {
                         return Err(format!(
                             "dependency violated: {} ends at {} but {} starts at {}",

@@ -207,11 +207,7 @@ impl<'a> ListScheduler<'a> {
         let broadcast_buses: Vec<PeId> = self.arch.broadcast_buses().collect();
 
         // The jobs of this path.
-        let mut jobs: Vec<Job> = track
-            .processes()
-            .iter()
-            .map(|&p| Job::Process(p))
-            .collect();
+        let mut jobs: Vec<Job> = track.processes().iter().map(|&p| Job::Process(p)).collect();
         if needs_broadcast {
             jobs.extend(track.determined_conditions().map(Job::Broadcast));
         }
@@ -280,9 +276,7 @@ impl<'a> ListScheduler<'a> {
             // Eligible jobs: all predecessors committed.
             let mut best: Option<(u64, Job)> = None;
             for &job in &remaining {
-                let eligible = preds[&job]
-                    .iter()
-                    .all(|p| scheduled.contains_key(p));
+                let eligible = preds[&job].iter().all(|p| scheduled.contains_key(p));
                 if !eligible {
                     continue;
                 }
@@ -454,8 +448,7 @@ mod tests {
     fn diamond_schedules_both_tracks_correctly() {
         let system = examples::diamond();
         let tracks = enumerate_tracks(system.cpg());
-        let scheduler =
-            ListScheduler::new(system.cpg(), system.arch(), system.broadcast_time());
+        let scheduler = ListScheduler::new(system.cpg(), system.arch(), system.broadcast_time());
         for track in tracks.iter() {
             let schedule = scheduler.schedule_track(track);
             schedule.verify(system.cpg(), system.arch()).unwrap();
@@ -476,8 +469,7 @@ mod tests {
     fn fig1_path_delays_have_the_published_shape() {
         let system = examples::fig1();
         let tracks = enumerate_tracks(system.cpg());
-        let scheduler =
-            ListScheduler::new(system.cpg(), system.arch(), system.broadcast_time());
+        let scheduler = ListScheduler::new(system.cpg(), system.arch(), system.broadcast_time());
         let schedules = scheduler.schedule_all(&tracks);
         assert_eq!(schedules.len(), 6);
         for (track, schedule) in tracks.iter().zip(&schedules) {
@@ -489,8 +481,14 @@ mod tests {
         let delays: Vec<u64> = schedules.iter().map(|s| s.delay().as_u64()).collect();
         let min = *delays.iter().min().unwrap();
         let max = *delays.iter().max().unwrap();
-        assert!(max >= 30 && max <= 50, "longest path delay {max} out of range");
-        assert!(min >= 20 && min <= max, "shortest path delay {min} out of range");
+        assert!(
+            (30..=50).contains(&max),
+            "longest path delay {max} out of range"
+        );
+        assert!(
+            min >= 20 && min <= max,
+            "shortest path delay {min} out of range"
+        );
     }
 
     #[test]
@@ -535,7 +533,10 @@ mod tests {
             .unwrap();
         let own = schedule.condition_known_at(cpg, c, own_pe).unwrap();
         let other = schedule.condition_known_at(cpg, c, other_pe).unwrap();
-        assert!(own <= other, "own {own} should not be later than remote {other}");
+        assert!(
+            own <= other,
+            "own {own} should not be later than remote {other}"
+        );
         assert!(other >= own + system.broadcast_time());
     }
 
@@ -624,9 +625,9 @@ mod tests {
             .jobs()
             .iter()
             .find(|sj| {
-                sj.job().as_process().is_some_and(|p| {
-                    !cpg.process(p).kind().is_dummy() && sj.start() > Time::ZERO
-                })
+                sj.job()
+                    .as_process()
+                    .is_some_and(|p| !cpg.process(p).kind().is_dummy() && sj.start() > Time::ZERO)
             })
             .unwrap();
         let mut locks = HashMap::new();
@@ -656,13 +657,11 @@ mod tests {
         let cpg = b.build(&arch).unwrap();
         let tracks = enumerate_tracks(&cpg);
         let scheduler = ListScheduler::new(&cpg, &arch, Time::new(1));
-        let s_true = scheduler
-            .schedule_track(tracks.by_label(&Cube::from(c.is_true())).map(|t| t).unwrap());
+        let s_true = scheduler.schedule_track(tracks.by_label(&Cube::from(c.is_true())).unwrap());
         // No broadcast jobs on a single-processor architecture.
         assert!(!s_true.jobs().iter().any(|j| j.job().is_broadcast()));
         assert_eq!(s_true.delay(), Time::new(5));
-        let s_false = scheduler
-            .schedule_track(tracks.by_label(&Cube::from(c.is_false())).unwrap());
+        let s_false = scheduler.schedule_track(tracks.by_label(&Cube::from(c.is_false())).unwrap());
         assert_eq!(s_false.delay(), Time::new(6));
     }
 
@@ -733,7 +732,9 @@ mod tests {
         for track in tracks.iter() {
             let schedule = scheduler.schedule_track(track);
             for sj in schedule.jobs() {
-                let Some(pid) = sj.job().as_process() else { continue };
+                let Some(pid) = sj.job().as_process() else {
+                    continue;
+                };
                 let Some(pe) = cpg.mapping(pid) else { continue };
                 let guard_cube = cpg
                     .guard(pid)

@@ -178,7 +178,10 @@ mod tests {
         };
         assert!(report.is_ok());
         assert_eq!(report.activation_of(job), Some(Time::new(2)));
-        assert_eq!(report.activation_of(Job::Process(ProcessId::from_index(9))), None);
+        assert_eq!(
+            report.activation_of(Job::Process(ProcessId::from_index(9))),
+            None
+        );
         assert_eq!(report.delay(), Time::new(5));
         assert!(report.to_string().contains("delay 5"));
     }

@@ -341,12 +341,8 @@ mod tests {
         let system = examples::diamond();
         let table = ScheduleTable::new();
         let tracks = enumerate_tracks(system.cpg());
-        let simulator = Simulator::new(
-            system.cpg(),
-            system.arch(),
-            &table,
-            system.broadcast_time(),
-        );
+        let simulator =
+            Simulator::new(system.cpg(), system.arch(), &table, system.broadcast_time());
         let report = simulator.run(&tracks.tracks()[0].label());
         assert!(!report.is_ok());
         assert!(report
@@ -394,19 +390,20 @@ mod tests {
         // Clash two cpu0 processes at the same instant.
         let decide = cpg.process_by_name("decide").unwrap();
         let cold = cpg.process_by_name("cold").unwrap();
-        table.set(cpg_path_sched::Job::Process(decide), Cube::top(), Time::ZERO);
+        table.set(
+            cpg_path_sched::Job::Process(decide),
+            Cube::top(),
+            Time::ZERO,
+        );
         let not_c = Cube::from(system.condition("C").unwrap().is_false());
         table.set(cpg_path_sched::Job::Process(cold), not_c, Time::new(1));
         let simulator = Simulator::new(cpg, system.arch(), &table, system.broadcast_time());
         let track = tracks.iter().find(|t| t.label() == not_c).unwrap();
         let report = simulator.run(&track.label());
-        assert!(report
-            .violations()
-            .iter()
-            .any(|v| matches!(
-                v,
-                SimViolation::ResourceOverlap { .. } | SimViolation::InputNotArrived { .. }
-            )));
+        assert!(report.violations().iter().any(|v| matches!(
+            v,
+            SimViolation::ResourceOverlap { .. } | SimViolation::InputNotArrived { .. }
+        )));
     }
 
     #[test]
@@ -434,10 +431,10 @@ mod tests {
         let report = simulator.run(&track.label());
         // `hot` runs on the processor that does not compute C, so its guard
         // can never be evaluated there without the broadcast.
-        assert!(report
-            .violations()
-            .iter()
-            .any(|v| matches!(v, SimViolation::ConditionNotKnownLocally { known_at: None, .. })));
+        assert!(report.violations().iter().any(|v| matches!(
+            v,
+            SimViolation::ConditionNotKnownLocally { known_at: None, .. }
+        )));
     }
 
     #[test]
@@ -454,15 +451,14 @@ mod tests {
         b.conditional_edge(root, x, c.is_true(), Time::ZERO);
         b.conditional_edge(root, y, c.is_false(), Time::ZERO);
         let cpg = b.build(&arch).unwrap();
-        let result = generate_schedule_table(
-            &cpg,
-            &arch,
-            &MergeConfig::new(Time::new(1)),
-        );
+        let result = generate_schedule_table(&cpg, &arch, &MergeConfig::new(Time::new(1)));
         let simulator = Simulator::new(&cpg, &arch, result.table(), Time::new(1));
         let reports = simulator.run_all(result.tracks());
         assert!(reports.iter().all(SimulationReport::is_ok));
-        assert_eq!(simulator.worst_case_delay(result.tracks()), result.delta_max());
+        assert_eq!(
+            simulator.worst_case_delay(result.tracks()),
+            result.delta_max()
+        );
         // No broadcast activations are simulated on a single processor.
         for report in &reports {
             assert!(report

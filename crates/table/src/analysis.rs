@@ -59,7 +59,8 @@ pub fn utilization(
     label: &Cube,
 ) -> Vec<ResourceLoad> {
     let delay = table.track_delay(cpg, label);
-    let mut busy: BTreeMap<PeId, (Time, usize)> = arch.ids().map(|pe| (pe, (Time::ZERO, 0))).collect();
+    let mut busy: BTreeMap<PeId, (Time, usize)> =
+        arch.ids().map(|pe| (pe, (Time::ZERO, 0))).collect();
     for (job, _, _) in table.all_entries() {
         let Job::Process(pid) = job else { continue };
         if !cpg.guard(pid).implied_by(label) {

@@ -155,7 +155,9 @@ pub fn per_processor_dispatch(
             .push(DispatchEntry { job, column, start });
     }
     for table in &mut dispatch {
-        table.entries.sort_by_key(|e| (e.start, e.job, e.column.len()));
+        table
+            .entries
+            .sort_by_key(|e| (e.start, e.job, e.column.len()));
     }
     dispatch
 }

@@ -182,7 +182,7 @@ impl ScheduleTable {
     pub fn track_delay(&self, cpg: &Cpg, label: &Cube) -> Time {
         let assignment = Assignment::from_cube(label);
         let mut delay = Time::ZERO;
-        for (&job, _) in &self.rows {
+        for &job in self.rows.keys() {
             let Job::Process(pid) = job else { continue };
             if !cpg.guard(pid).implied_by(label) {
                 continue;

@@ -54,6 +54,14 @@ fn build_table(entries: &[Entry]) -> ScheduleTable {
 }
 
 proptest! {
+    // Pinned case count and shrink budget: CI runs must be deterministic and
+    // fast regardless of PROPTEST_CASES / PROPTEST_MAX_SHRINK_ITERS in the
+    // environment.
+    #![proptest_config(ProptestConfig {
+        cases: 128,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
     #[test]
     fn get_returns_the_last_inserted_time(entries in entries_strategy()) {
         let table = build_table(&entries);

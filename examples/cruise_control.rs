@@ -98,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Generate the schedule table.
     let tau0 = Time::new(1);
     let result = generate_schedule_table(&cpg, &arch, &MergeConfig::new(tau0));
-    result.table().verify(&cpg, result.tracks()).expect("correct table");
+    result
+        .table()
+        .verify(&cpg, result.tracks())
+        .expect("correct table");
 
     println!("\nper-scenario latency (sensor reading to actuation):");
     println!(
@@ -127,11 +130,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .tracks()
         .iter()
         .find(|t| {
-            t.label().contains(conditions[0].is_true()) && t.label().contains(conditions[1].is_true())
+            t.label().contains(conditions[0].is_true())
+                && t.label().contains(conditions[1].is_true())
         })
         .expect("the critical scenario exists");
     let report = simulator.run(&critical_track.label());
-    let emergency = cpg.process_by_name("emergency_brake").expect("process exists");
+    let emergency = cpg
+        .process_by_name("emergency_brake")
+        .expect("process exists");
     println!(
         "\nin the critical scenario the emergency brake activates at t = {} and the frame completes at t = {}",
         report

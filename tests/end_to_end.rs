@@ -1,8 +1,8 @@
 //! End-to-end integration tests: the full pipeline (model → path scheduling →
 //! merging → verification → simulation) on the example systems.
 
-use cps::prelude::*;
 use cps::model::examples;
+use cps::prelude::*;
 
 fn pipeline(system: &examples::ExampleSystem) -> MergeResult {
     generate_schedule_table(
@@ -131,11 +131,8 @@ fn merged_table_is_robust_to_the_broadcast_time() {
 fn baseline_and_merged_tables_agree_on_unconditional_processes() {
     let system = examples::diamond();
     let merged = pipeline(&system);
-    let baseline = condition_oblivious_baseline(
-        system.cpg(),
-        system.arch(),
-        system.broadcast_time(),
-    );
+    let baseline =
+        condition_oblivious_baseline(system.cpg(), system.arch(), system.broadcast_time());
     // Both schedulers place the unconditional root process at time zero.
     let decide = system.cpg().process_by_name("decide").unwrap();
     assert_eq!(

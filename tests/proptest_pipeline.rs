@@ -34,7 +34,14 @@ fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    // Pinned case count and shrink budget: CI runs must be deterministic and
+    // fast regardless of PROPTEST_CASES / PROPTEST_MAX_SHRINK_ITERS in the
+    // environment.
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
 
     #[test]
     fn generated_tables_are_correct_for_arbitrary_systems(config in config_strategy()) {

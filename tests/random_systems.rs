@@ -88,11 +88,7 @@ fn per_path_schedules_are_feasible_and_bound_the_table_delays() {
     for config in sample_configs().into_iter().step_by(3) {
         let system = generate(&config);
         let tracks = enumerate_tracks(system.cpg());
-        let scheduler = ListScheduler::new(
-            system.cpg(),
-            system.arch(),
-            system.broadcast_time(),
-        );
+        let scheduler = ListScheduler::new(system.cpg(), system.arch(), system.broadcast_time());
         let result = generate_schedule_table(
             system.cpg(),
             system.arch(),

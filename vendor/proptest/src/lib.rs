@@ -1,0 +1,508 @@
+//! Offline shim of the subset of the `proptest` 1.x API used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal property-testing engine with the same surface syntax as the real
+//! crate: the [`proptest!`] macro, [`Strategy`] with `prop_map`, [`any`],
+//! `proptest::collection::vec`, tuple and range strategies, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs verbatim
+//!   (every strategy value is `Debug`-printed by the caller's assertions);
+//!   `max_shrink_iters` is accepted for source compatibility and ignored.
+//! * **Deterministic RNG.** Each test function derives its seed from its own
+//!   name (FNV-1a), so runs are reproducible across machines and CI without
+//!   a persisted failure file. Set `PROPTEST_SEED` to explore other streams,
+//!   and `PROPTEST_CASES` to override the case count globally.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod test_runner {
+    //! Runtime pieces used by the [`proptest!`](crate::proptest) macro
+    //! expansion.
+
+    use super::*;
+
+    /// Failure raised by the `prop_assert*` macros.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The per-test RNG: SplitMix64 seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Derives a deterministic RNG for the named test. `PROPTEST_SEED`
+        /// overrides the seed for ad-hoc exploration.
+        pub fn deterministic(test_name: &str) -> Self {
+            if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+                if let Ok(seed) = seed.parse::<u64>() {
+                    return TestRng(StdRng::seed_from_u64(seed));
+                }
+            }
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in test_name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(StdRng::seed_from_u64(hash))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for source compatibility; this shim never forks.
+    pub fork: bool,
+    /// Accepted for source compatibility; this shim prints nothing extra.
+    pub verbose: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        let max_shrink_iters = std::env::var("PROPTEST_MAX_SHRINK_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        ProptestConfig {
+            cases,
+            max_shrink_iters,
+            fork: false,
+            verbose: 0,
+        }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Any<T> {}
+
+/// Generates arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Option<T> {
+        if rng.next_u64() & 1 == 1 {
+            Some(T::arbitrary(rng))
+        } else {
+            None
+        }
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+pub mod collection {
+    //! Strategies over collections.
+
+    use super::*;
+
+    /// Ranges of collection sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            SizeRange {
+                min: range.start,
+                max_exclusive: range.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *range.start(),
+                max_exclusive: *range.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates a `Vec` whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.min + 1 >= self.size.max_exclusive {
+                self.size.min
+            } else {
+                rng.random_range(self.size.min..self.size.max_exclusive)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prop {
+    //! Namespaced strategy constants, mirroring `proptest::prop`.
+
+    /// Boolean strategies.
+    pub mod bool {
+        /// Generates arbitrary booleans.
+        pub const ANY: crate::Any<::core::primitive::bool> =
+            crate::Any(::core::marker::PhantomData);
+    }
+}
+
+/// The usual glob import: strategies, config, macros.
+pub mod prelude {
+    /// Re-export so `prop_assert*` expansions resolve inside user crates.
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Runs `cases` iterations of a property, panicking on the first failure.
+///
+/// This is the runtime behind the [`proptest!`] macro; it is public so the
+/// macro expansion can reach it from other crates.
+pub fn run_property<F>(test_name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng, u32) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::deterministic(test_name);
+    for index in 0..config.cases {
+        if let Err(error) = case(&mut rng, index) {
+            panic!(
+                "proptest '{test_name}' failed at case {index}/{}: {error}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the same surface syntax as the real `proptest!` macro for the
+/// patterns used in this workspace: an optional
+/// `#![proptest_config(<expr>)]` header followed by `#[test]` functions whose
+/// arguments are drawn from strategies with `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_property(stringify!($name), &config, |rng, _case| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// `assert!` that reports failure to the proptest runner instead of
+/// panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            left,
+                            right
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// `assert_ne!` for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if *left == *right {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{}` != `{}`\n  both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            left
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn tuples_ranges_and_maps_compose(
+            pair in (0usize..10, any::<bool>()).prop_map(|(n, b)| (n * 2, b)),
+            flag in prop::bool::ANY,
+            items in crate::collection::vec(0u64..100, 0..8),
+        ) {
+            prop_assert!(pair.0 < 20);
+            prop_assert_eq!(pair.0 % 2, 0);
+            prop_assert!(usize::from(flag) <= 1);
+            prop_assert!(items.len() < 8);
+            for item in &items {
+                prop_assert!(*item < 100);
+            }
+        }
+
+        #[test]
+        fn early_return_is_accepted(n in 0usize..4) {
+            if n == 0 {
+                return Ok(());
+            }
+            prop_assert_ne!(n, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        use crate::test_runner::TestRng;
+        use rand::RngCore;
+        let mut a = TestRng::deterministic("some_test");
+        let mut b = TestRng::deterministic("some_test");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
