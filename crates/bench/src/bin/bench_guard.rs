@@ -1,0 +1,215 @@
+//! Benchmark regression gate.
+//!
+//! Compares a fresh criterion-shim measurement (the JSON-lines file produced
+//! by running `cargo bench` with `CRITERION_JSON=<path>`) against a committed
+//! baseline (`BENCH_1.json`) and fails when any `schedule_merging/*` median
+//! regresses by more than the allowed percentage.
+//!
+//! ```text
+//! CRITERION_JSON=bench_current.json cargo bench --bench merge_time --bench path_schedule_time
+//! cargo run --release -p cpg-bench --bin bench_guard -- \
+//!     --baseline BENCH_1.json --current bench_current.json
+//! ```
+//!
+//! `--emit <path> --label <name>` additionally writes the current
+//! measurements as a composed baseline document (the format of the committed
+//! `BENCH_*.json` files), which is how new baselines are produced.
+//!
+//! Both the appended JSON-lines format and the composed baseline document are
+//! accepted as input: the parser simply pairs `"benchmark"` strings with the
+//! `"median_ns_per_iter"` numbers that follow them.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Benchmarks whose regression fails the gate; everything else is reported
+/// for information only.
+const GATED_PREFIX: &str = "schedule_merging/";
+
+/// Allowed regression of a gated median, in percent.
+const ALLOWED_REGRESSION_PERCENT: f64 = 25.0;
+
+fn main() -> ExitCode {
+    let mut baseline_path = String::from("BENCH_1.json");
+    let mut current_path = None;
+    let mut emit_path = None;
+    let mut label = String::from("BENCH_CURRENT");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline_path = value("--baseline"),
+            "--current" => current_path = Some(value("--current")),
+            "--emit" => emit_path = Some(value("--emit")),
+            "--label" => label = value("--label"),
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!(
+                    "usage: bench_guard --current <json> [--baseline <json>] \
+                     [--emit <json> --label <name>]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(current_path) = current_path else {
+        eprintln!("--current <json> is required (the CRITERION_JSON output of cargo bench)");
+        return ExitCode::FAILURE;
+    };
+
+    let current = match read_benchmarks(&current_path) {
+        Ok(rows) if !rows.is_empty() => rows,
+        Ok(_) => {
+            eprintln!("no benchmarks found in {current_path}");
+            return ExitCode::FAILURE;
+        }
+        Err(error) => {
+            eprintln!("cannot read {current_path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(emit_path) = emit_path {
+        let doc = compose_baseline(&label, &current);
+        if let Err(error) = std::fs::write(&emit_path, doc) {
+            eprintln!("cannot write {emit_path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} benchmarks to {emit_path}", current.len());
+    }
+
+    let baseline = match read_benchmarks(&baseline_path) {
+        Ok(rows) => rows,
+        Err(error) => {
+            eprintln!("cannot read baseline {baseline_path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0usize;
+    println!(
+        "{:<36} {:>14} {:>14} {:>9}  gate",
+        "benchmark", "baseline (ns)", "current (ns)", "change"
+    );
+    for (name, base_median) in &baseline {
+        let Some((_, current_median)) = current.iter().find(|(n, _)| n == name) else {
+            println!(
+                "{name:<36} {base_median:>14.0} {:>14} {:>9}  MISSING",
+                "-", "-"
+            );
+            if name.starts_with(GATED_PREFIX) {
+                failures += 1;
+            }
+            continue;
+        };
+        let change = (current_median - base_median) / base_median * 100.0;
+        let gated = name.starts_with(GATED_PREFIX);
+        let verdict = if !gated {
+            "info"
+        } else if change > ALLOWED_REGRESSION_PERCENT {
+            failures += 1;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name:<36} {base_median:>14.0} {current_median:>14.0} {change:>+8.1}%  {verdict}"
+        );
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "{failures} gated benchmark(s) regressed more than \
+             {ALLOWED_REGRESSION_PERCENT}% (or went missing) against {baseline_path}"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("benchmark gate passed against {baseline_path}");
+    ExitCode::SUCCESS
+}
+
+/// Extracts `(benchmark, median_ns_per_iter)` pairs from either the appended
+/// JSON-lines format of the criterion shim or a composed baseline document.
+///
+/// The shim *appends* to `CRITERION_JSON`, so a file left over from an
+/// earlier `cargo bench` run contains multiple entries per benchmark; the
+/// newest (last) measurement wins and a warning is printed, so the gate and
+/// `--emit` never silently act on stale numbers.
+fn read_benchmarks(path: &str) -> Result<Vec<(String, f64)>, std::io::Error> {
+    let text = std::fs::read_to_string(path)?;
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    let mut duplicates = 0usize;
+    let mut rest = text.as_str();
+    while let Some(pos) = rest.find("\"benchmark\"") {
+        rest = &rest[pos + "\"benchmark\"".len()..];
+        let Some(name) = extract_string(rest) else {
+            break;
+        };
+        let Some(pos) = rest.find("\"median_ns_per_iter\"") else {
+            break;
+        };
+        rest = &rest[pos + "\"median_ns_per_iter\"".len()..];
+        let Some(median) = extract_number(rest) else {
+            break;
+        };
+        if let Some(row) = rows.iter_mut().find(|(n, _)| *n == name) {
+            duplicates += 1;
+            row.1 = median;
+        } else {
+            rows.push((name, median));
+        }
+    }
+    if duplicates > 0 {
+        eprintln!(
+            "warning: {path} contains {duplicates} repeated benchmark entr{} \
+             (appended by successive cargo bench runs); using the newest of each",
+            if duplicates == 1 { "y" } else { "ies" }
+        );
+    }
+    Ok(rows)
+}
+
+/// The first JSON string value after a `:` in `text`.
+fn extract_string(text: &str) -> Option<String> {
+    let start = text.find('"')?;
+    let rest = &text[start + 1..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_owned())
+}
+
+/// The first JSON number after a `:` in `text`.
+fn extract_number(text: &str) -> Option<f64> {
+    let colon = text.find(':')?;
+    let rest = text[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".eE+-".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Renders the composed baseline document committed as `BENCH_*.json`.
+fn compose_baseline(label: &str, rows: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"baseline\": \"{label}\",");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"CRITERION_JSON=<path> cargo bench --bench merge_time --bench path_schedule_time\","
+    );
+    let _ = writeln!(out, "  \"units\": \"median nanoseconds per iteration\",");
+    let _ = writeln!(out, "  \"benchmarks\": [");
+    for (i, (name, median)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"benchmark\": \"{name}\",");
+        let _ = writeln!(out, "      \"median_ns_per_iter\": {median}");
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}

@@ -27,11 +27,9 @@
 //!    process to one of the previously tabled activation times (the loop
 //!    justified by Theorem 2).
 
-use std::collections::HashMap;
-
 use cpg::{enumerate_tracks, Assignment, CondId, Cpg, Cube, Track, TrackSet};
 use cpg_arch::{Architecture, PeId, Time};
-use cpg_path_sched::{Job, ListScheduler, PathSchedule};
+use cpg_path_sched::{Job, ListScheduler, LockSet, PathSchedule, TrackContext};
 use cpg_table::ScheduleTable;
 
 use crate::config::{MergeConfig, SelectionPolicy};
@@ -88,7 +86,10 @@ pub fn generate_schedule_table_for_tracks(
     tracks: TrackSet,
 ) -> MergeResult {
     let scheduler = ListScheduler::new(cpg, arch, config.broadcast_time());
-    let optimal = scheduler.schedule_all(&tracks);
+    // One dense scheduling context per track, reused across the initial
+    // per-path schedules and every adjustment/repair of the merge below.
+    let contexts: Vec<TrackContext> = tracks.iter().map(|t| scheduler.context(t)).collect();
+    let optimal: Vec<PathSchedule> = contexts.iter().map(TrackContext::schedule).collect();
     let delta_m = optimal
         .iter()
         .map(PathSchedule::delay)
@@ -98,7 +99,7 @@ pub fn generate_schedule_table_for_tracks(
     let mut merger = Merger {
         cpg,
         config,
-        scheduler,
+        contexts: &contexts,
         tracks: &tracks,
         optimal: &optimal,
         table: ScheduleTable::new(),
@@ -138,7 +139,7 @@ enum Placement {
 struct Merger<'a> {
     cpg: &'a Cpg,
     config: &'a MergeConfig,
-    scheduler: ListScheduler<'a>,
+    contexts: &'a [TrackContext<'a>],
     tracks: &'a TrackSet,
     optimal: &'a [PathSchedule],
     table: ScheduleTable,
@@ -153,7 +154,36 @@ impl Merger<'_> {
             .select_track(&decided)
             .expect("a valid graph has at least one alternative path");
         let schedule = self.optimal[root].clone();
-        self.walk(root, schedule, decided, HashMap::new());
+        let fixed = LockSet::for_graph(self.cpg);
+        self.walk(root, schedule, decided, fixed);
+    }
+
+    /// Re-schedules a track around the locked activation times and accounts
+    /// for any lock the scheduler could not honour. Repair restarts re-run
+    /// the scheduler with a superset of the previous locks, so only slips
+    /// that were not already present in `previous` are counted — a single
+    /// divergent table entry is reported once, not once per restart.
+    fn adjust(
+        &mut self,
+        track_idx: usize,
+        locks: &LockSet,
+        previous: Option<&PathSchedule>,
+    ) -> PathSchedule {
+        let adjusted = self.contexts[track_idx].reschedule(&self.optimal[track_idx], locks);
+        let already_counted = |slip: &cpg_path_sched::SlippedLock| {
+            previous.is_some_and(|schedule| {
+                schedule
+                    .slipped_locks()
+                    .iter()
+                    .any(|p| p.job() == slip.job() && p.intended() == slip.intended())
+            })
+        };
+        self.stats.lock_slips += adjusted
+            .slipped_locks()
+            .iter()
+            .filter(|slip| !already_counted(slip))
+            .count();
+        adjusted
     }
 
     /// Picks the reachable path used as the current schedule at a decision
@@ -184,7 +214,7 @@ impl Merger<'_> {
         track_idx: usize,
         schedule: PathSchedule,
         decided: Assignment,
-        mut fixed: HashMap<Job, Time>,
+        mut fixed: LockSet,
     ) {
         let mut schedule = schedule;
         let label = self.tracks.tracks()[track_idx].label();
@@ -193,22 +223,26 @@ impl Merger<'_> {
         // resolved (or the schedule ends). Conflict repairs re-adjust the
         // schedule, in which case the placement scan restarts.
         let next = loop {
+            // The scheduler caches the resolutions sorted by (time, cond),
+            // so the first undecided one is the earliest.
             let next = schedule
-                .condition_resolutions(self.cpg)
-                .into_iter()
-                .filter(|(c, _)| decided.value(*c).is_none())
-                .min_by_key(|&(c, t)| (t, c));
+                .resolutions()
+                .iter()
+                .copied()
+                .find(|(c, _)| decided.value(*c).is_none());
             let horizon = next.map(|(_, t)| t);
 
             let mut repaired = false;
-            let jobs: Vec<_> = schedule.jobs().to_vec();
-            for sj in jobs {
+            // Indexed scan: repairs replace `schedule` and restart the loop,
+            // so no snapshot of the job list is needed.
+            for i in 0..schedule.len() {
+                let sj = schedule.jobs()[i];
                 if let Some(h) = horizon {
                     if sj.start() >= h {
                         break;
                     }
                 }
-                if fixed.contains_key(&sj.job()) {
+                if fixed.contains(sj.job()) {
                     continue;
                 }
                 if let Some(pid) = sj.job().as_process() {
@@ -223,11 +257,7 @@ impl Merger<'_> {
                     }
                     Placement::Moved(new_time) => {
                         fixed.insert(sj.job(), new_time);
-                        schedule = self.scheduler.reschedule(
-                            &self.tracks.tracks()[track_idx],
-                            &self.optimal[track_idx],
-                            &fixed,
-                        );
+                        schedule = self.adjust(track_idx, &fixed, Some(&schedule));
                         repaired = true;
                         break;
                     }
@@ -270,11 +300,7 @@ impl Merger<'_> {
             return;
         };
         let locks = self.locks_from_table(new_idx, &decided, &decided_back);
-        let adjusted = self.scheduler.reschedule(
-            &self.tracks.tracks()[new_idx],
-            &self.optimal[new_idx],
-            &locks,
-        );
+        let adjusted = self.adjust(new_idx, &locks, None);
         self.stats.tree_nodes += 1;
         self.stats.adjustments += 1;
         self.steps.push(MergeStep {
@@ -295,10 +321,10 @@ impl Merger<'_> {
         track_idx: usize,
         ancestors: &Assignment,
         decided: &Assignment,
-    ) -> HashMap<Job, Time> {
+    ) -> LockSet {
         let track = &self.tracks.tracks()[track_idx];
         let decided_cube = decided.to_cube();
-        let mut locks = HashMap::new();
+        let mut locks = LockSet::for_graph(self.cpg);
         for job in self.track_jobs(track) {
             let mut best: Option<(usize, Time)> = None;
             for (column, time) in self.table.entries(job) {

@@ -40,6 +40,14 @@ pub struct MergeStats {
     /// to a previously tabled activation time (0 for well-formed inputs; a
     /// non-zero value indicates a requirement-2 violation in the output).
     pub unrepaired_conflicts: usize,
+    /// Number of locked activation times the scheduler could not honour
+    /// during adjustments: the lock asked for a start the adjusted path's
+    /// data dependencies made impossible, so the job slipped later (see
+    /// [`cpg_path_sched::PathSchedule::slipped_locks`]). Rule 3 locks only
+    /// activation times fixed in ancestor-dependent columns, so this is 0
+    /// for well-formed inputs; a non-zero value means an adjusted schedule
+    /// diverged from the times already published in the table.
+    pub lock_slips: usize,
 }
 
 /// The output of [`generate_schedule_table`](crate::generate_schedule_table).

@@ -1,0 +1,137 @@
+//! Occupancy calendar of one exclusive resource (processor or bus).
+
+use cpg_arch::Time;
+
+/// Reserved intervals of one exclusive resource, kept sorted, disjoint and
+/// coalesced: overlapping or touching reservations are merged on insert, so
+/// the interval list stays proportional to the number of *distinct* busy
+/// periods rather than to the number of `reserve` calls. This matters for the
+/// adjustment step of the merge algorithm, which pre-reserves every locked
+/// job once per repair restart.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Calendar {
+    /// Reserved `[start, end)` intervals, sorted by start, pairwise disjoint.
+    intervals: Vec<(Time, Time)>,
+}
+
+impl Calendar {
+    /// Earliest start `>= after` at which a job of length `duration` fits
+    /// without overlapping a reserved interval.
+    pub(crate) fn earliest_fit(&self, after: Time, duration: Time) -> Time {
+        let mut candidate = after;
+        for &(start, end) in &self.intervals {
+            if candidate + duration <= start {
+                break;
+            }
+            if end > candidate {
+                candidate = end;
+            }
+        }
+        candidate
+    }
+
+    /// Reserves `[start, start + duration)`, merging with any overlapping or
+    /// touching intervals already present.
+    pub(crate) fn reserve(&mut self, start: Time, duration: Time) {
+        if duration.is_zero() {
+            return;
+        }
+        let mut new_start = start;
+        let mut new_end = start + duration;
+        // First interval that could merge with the new one (ends at or after
+        // its start), and one past the last (starts at or before its end).
+        let lo = self.intervals.partition_point(|&(_, end)| end < new_start);
+        let mut hi = lo;
+        while hi < self.intervals.len() && self.intervals[hi].0 <= new_end {
+            new_start = new_start.min(self.intervals[hi].0);
+            new_end = new_end.max(self.intervals[hi].1);
+            hi += 1;
+        }
+        self.intervals.splice(lo..hi, [(new_start, new_end)]);
+    }
+
+    /// Number of distinct busy periods currently reserved.
+    #[cfg(test)]
+    pub(crate) fn segments(&self) -> usize {
+        self.intervals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(units: u64) -> Time {
+        Time::new(units)
+    }
+
+    #[test]
+    fn finds_gaps_and_appends() {
+        let mut cal = Calendar::default();
+        cal.reserve(t(10), t(5));
+        cal.reserve(t(20), t(5));
+        // Fits before the first interval.
+        assert_eq!(cal.earliest_fit(Time::ZERO, t(5)), Time::ZERO);
+        // Does not fit before, lands in the gap between the intervals.
+        assert_eq!(cal.earliest_fit(t(8), t(5)), t(15));
+        // Too long for any gap: appended after the last interval.
+        assert_eq!(cal.earliest_fit(Time::ZERO, t(11)), t(25));
+        // Zero-length reservations are ignored.
+        cal.reserve(t(2), Time::ZERO);
+        assert_eq!(cal.earliest_fit(Time::ZERO, t(5)), Time::ZERO);
+    }
+
+    #[test]
+    fn overlapping_reservations_coalesce() {
+        let mut cal = Calendar::default();
+        cal.reserve(t(10), t(5));
+        // Identical reservation: no new segment.
+        cal.reserve(t(10), t(5));
+        assert_eq!(cal.segments(), 1);
+        // Partial overlap extends the segment on both sides.
+        cal.reserve(t(8), t(4));
+        cal.reserve(t(13), t(4));
+        assert_eq!(cal.segments(), 1);
+        assert_eq!(cal.earliest_fit(t(8), t(1)), t(17));
+        // Contained reservation changes nothing.
+        cal.reserve(t(9), t(2));
+        assert_eq!(cal.segments(), 1);
+        assert_eq!(cal.earliest_fit(Time::ZERO, t(8)), Time::ZERO);
+    }
+
+    #[test]
+    fn touching_reservations_merge_into_one_segment() {
+        let mut cal = Calendar::default();
+        cal.reserve(t(0), t(5));
+        cal.reserve(t(5), t(5));
+        assert_eq!(cal.segments(), 1);
+        assert_eq!(cal.earliest_fit(Time::ZERO, t(1)), t(10));
+    }
+
+    #[test]
+    fn a_reservation_can_bridge_several_segments() {
+        let mut cal = Calendar::default();
+        cal.reserve(t(0), t(2));
+        cal.reserve(t(4), t(2));
+        cal.reserve(t(8), t(2));
+        assert_eq!(cal.segments(), 3);
+        // Covers the gaps between all three: one segment remains.
+        cal.reserve(t(1), t(8));
+        assert_eq!(cal.segments(), 1);
+        assert_eq!(cal.earliest_fit(Time::ZERO, t(1)), t(10));
+    }
+
+    #[test]
+    fn disjoint_reservations_stay_separate_and_sorted() {
+        let mut cal = Calendar::default();
+        cal.reserve(t(20), t(2));
+        cal.reserve(t(0), t(2));
+        cal.reserve(t(10), t(2));
+        assert_eq!(cal.segments(), 3);
+        assert_eq!(cal.earliest_fit(Time::ZERO, t(3)), t(2));
+        // A duration-8 job fits exactly in the [2, 10) gap; duration 9 must
+        // skip past both remaining intervals.
+        assert_eq!(cal.earliest_fit(t(1), t(8)), t(2));
+        assert_eq!(cal.earliest_fit(t(1), t(9)), t(22));
+    }
+}

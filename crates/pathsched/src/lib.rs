@@ -13,9 +13,15 @@
 //! * [`ListScheduler`] — the list scheduler itself, with partial-critical-path
 //!   priorities, gap-filling placement on exclusive resources, parallel
 //!   execution on hardware processors, and condition broadcasting;
+//! * [`TrackContext`] — the dense, indexed per-track scheduling core: job
+//!   indices, adjacency, guard requirements and priorities are precomputed
+//!   once per track and reused across every `schedule`/`reschedule` run;
+//! * [`LockSet`] — a dense set of locked activation times, cheap to clone
+//!   along the decision tree of the merge algorithm;
 //! * [`PathSchedule`] — the result: activation times for every job of one
-//!   path, the path delay `δ_k`, and queries about when condition values
-//!   become known on each processing element.
+//!   path, the path delay `δ_k`, the cached condition resolutions, any
+//!   [`SlippedLock`]s, and queries about when condition values become known
+//!   on each processing element.
 //!
 //! # Example
 //!
@@ -36,10 +42,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
+mod context;
 mod job;
+#[cfg(any(test, feature = "test-util"))]
+pub mod reference;
 mod schedule;
 mod scheduler;
 
+pub use context::{LockSet, TrackContext};
 pub use job::{Job, ScheduledJob};
-pub use schedule::PathSchedule;
+pub use schedule::{PathSchedule, SlippedLock};
 pub use scheduler::ListScheduler;

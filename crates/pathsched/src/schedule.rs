@@ -8,6 +8,54 @@ use cpg_arch::{Architecture, PeId, Time};
 
 use crate::job::{Job, ScheduledJob};
 
+/// A lock that could not be honoured by the scheduler: the job was asked to
+/// start exactly at `intended` (its activation time fixed in the schedule
+/// table), but its data dependencies or guard conditions were only satisfied
+/// at the later `actual` start.
+///
+/// The merge algorithm (rule 3 of the paper's Section 5.1) locks only
+/// activation times placed in columns that depend exclusively on conditions
+/// decided at ancestor decision-tree nodes, so for well-formed inputs no lock
+/// should slip; a slipped lock therefore signals a violated invariant of
+/// `Merger::locks_from_table` and is surfaced here instead of being silently
+/// absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlippedLock {
+    pub(crate) job: Job,
+    pub(crate) intended: Time,
+    pub(crate) actual: Time,
+}
+
+impl SlippedLock {
+    /// The locked job that slipped.
+    #[must_use]
+    pub const fn job(&self) -> Job {
+        self.job
+    }
+
+    /// The activation time the lock asked for.
+    #[must_use]
+    pub const fn intended(&self) -> Time {
+        self.intended
+    }
+
+    /// The activation time the job actually received.
+    #[must_use]
+    pub const fn actual(&self) -> Time {
+        self.actual
+    }
+}
+
+impl fmt::Display for SlippedLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} locked at {} but started at {}",
+            self.job, self.intended, self.actual
+        )
+    }
+}
+
 /// The (near-)optimal schedule of one alternative path `G_k` of a conditional
 /// process graph: a start time for every process activated on the path and
 /// for every condition broadcast issued on it.
@@ -20,10 +68,29 @@ pub struct PathSchedule {
     jobs: Vec<ScheduledJob>,
     index: HashMap<Job, usize>,
     delay: Time,
+    /// Condition resolutions `(cond, completion of its disjunction process)`
+    /// cached by the scheduler, sorted by `(time, cond)`.
+    resolutions: Vec<(CondId, Time)>,
+    /// Locks that could not be honoured during a [`reschedule`]
+    /// (`ListScheduler::reschedule`) call, in commit order.
+    ///
+    /// [`reschedule`]: crate::ListScheduler::reschedule
+    slipped: Vec<SlippedLock>,
 }
 
 impl PathSchedule {
-    pub(crate) fn new(label: Cube, mut jobs: Vec<ScheduledJob>, delay: Time) -> Self {
+    #[cfg(test)]
+    pub(crate) fn new(label: Cube, jobs: Vec<ScheduledJob>, delay: Time) -> Self {
+        Self::new_detailed(label, jobs, delay, Vec::new(), Vec::new())
+    }
+
+    pub(crate) fn new_detailed(
+        label: Cube,
+        mut jobs: Vec<ScheduledJob>,
+        delay: Time,
+        resolutions: Vec<(CondId, Time)>,
+        slipped: Vec<SlippedLock>,
+    ) -> Self {
         jobs.sort_by_key(|j| (j.start(), j.end(), j.job()));
         let index = jobs.iter().enumerate().map(|(i, j)| (j.job(), i)).collect();
         PathSchedule {
@@ -31,6 +98,8 @@ impl PathSchedule {
             jobs,
             index,
             delay,
+            resolutions,
+            slipped,
         }
     }
 
@@ -94,6 +163,31 @@ impl PathSchedule {
     #[must_use]
     pub fn start_times(&self) -> HashMap<Job, Time> {
         self.jobs.iter().map(|j| (j.job(), j.start())).collect()
+    }
+
+    /// The condition resolutions cached by the scheduler, sorted by
+    /// `(time, condition)`: one `(condition, completion time of its
+    /// disjunction process)` entry per condition determined on this path.
+    ///
+    /// Schedules produced by [`ListScheduler`](crate::ListScheduler) always
+    /// carry this cache, so the merge algorithm does not have to re-derive
+    /// the resolutions from the graph on every repair restart. For schedules
+    /// assembled by other means prefer
+    /// [`condition_resolutions`](Self::condition_resolutions), which computes
+    /// the same list from the graph.
+    #[must_use]
+    pub fn resolutions(&self) -> &[(CondId, Time)] {
+        &self.resolutions
+    }
+
+    /// The locks that could not be honoured when this schedule was produced
+    /// by [`reschedule`](crate::ListScheduler::reschedule): jobs whose
+    /// activation time was fixed by the caller but whose data dependencies or
+    /// guard conditions forced a later start. Empty for schedules built
+    /// without locks and for well-formed merge inputs.
+    #[must_use]
+    pub fn slipped_locks(&self) -> &[SlippedLock] {
+        &self.slipped
     }
 
     /// The completion times of the disjunction processes executed on this

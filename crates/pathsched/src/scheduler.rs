@@ -17,51 +17,26 @@
 //!
 //! The same engine re-schedules a path with some activation times *locked*
 //! (the "adjustment" step of the merge algorithm), keeping the relative order
-//! of the unlocked processes on every non-hardware processor.
+//! of the unlocked processes on every non-hardware processor, the bus each
+//! locked broadcast was originally assigned to, and reporting locks that
+//! could not be honoured through [`PathSchedule::slipped_locks`].
+//!
+//! [`ListScheduler`] is a thin facade: all scheduling runs on the dense,
+//! indexed per-track representation of [`TrackContext`](crate::TrackContext)
+//! (see the `context` module), which precomputes adjacency, guard
+//! requirements and priorities once per track and drives eligibility with a
+//! binary-heap ready queue. Callers that schedule the same track repeatedly —
+//! like the merge algorithm — should build the context once via
+//! [`ListScheduler::context`] and reuse it.
 
 use std::collections::HashMap;
 
-use cpg::{CondId, Cpg, Cube, ProcessId, Track, TrackSet};
-use cpg_arch::{Architecture, PeId, Time};
+use cpg::{Cpg, ProcessId, Track, TrackSet};
+use cpg_arch::{Architecture, Time};
 
-use crate::job::{Job, ScheduledJob};
+use crate::context::{LockSet, TrackContext};
+use crate::job::Job;
 use crate::schedule::PathSchedule;
-
-/// Occupancy calendar of one exclusive resource (processor or bus).
-#[derive(Debug, Clone, Default)]
-struct Calendar {
-    /// Reserved intervals, kept sorted by start time.
-    intervals: Vec<(Time, Time)>,
-}
-
-impl Calendar {
-    /// Earliest start `>= after` at which a job of length `duration` fits
-    /// without overlapping a reserved interval.
-    fn earliest_fit(&self, after: Time, duration: Time) -> Time {
-        let mut candidate = after;
-        for &(start, end) in &self.intervals {
-            if candidate + duration <= start {
-                break;
-            }
-            if end > candidate {
-                candidate = end;
-            }
-        }
-        candidate
-    }
-
-    /// Reserves `[start, start + duration)`.
-    fn reserve(&mut self, start: Time, duration: Time) {
-        if duration.is_zero() {
-            return;
-        }
-        let end = start + duration;
-        let pos = self
-            .intervals
-            .partition_point(|&(existing, _)| existing < start);
-        self.intervals.insert(pos, (start, end));
-    }
-}
 
 /// List scheduler for the alternative paths of a conditional process graph.
 ///
@@ -120,12 +95,26 @@ impl<'a> ListScheduler<'a> {
         self.broadcast_time
     }
 
+    /// Builds the reusable dense scheduling context of one track. Schedule
+    /// and re-schedule the track through the returned context when the same
+    /// track is scheduled more than once (the merge algorithm re-runs the
+    /// scheduler at every back-step adjustment and conflict repair).
+    #[must_use]
+    pub fn context(&self, track: &Track) -> TrackContext<'a> {
+        TrackContext::new(self.cpg, self.arch, self.broadcast_time, track)
+    }
+
+    /// An empty [`LockSet`] sized for this scheduler's graph.
+    #[must_use]
+    pub fn empty_locks(&self) -> LockSet {
+        LockSet::for_graph(self.cpg)
+    }
+
     /// Schedules one alternative path with the partial-critical-path priority
     /// (longest remaining path to the sink first).
     #[must_use]
     pub fn schedule_track(&self, track: &Track) -> PathSchedule {
-        let priorities = self.critical_path_priorities(track);
-        self.run(track, &priorities, &HashMap::new())
+        self.context(track).schedule()
     }
 
     /// Schedules every alternative path of a track set, in track order.
@@ -137,11 +126,19 @@ impl<'a> ListScheduler<'a> {
     /// Re-schedules a path after some activation times have been fixed in the
     /// schedule table (the *adjustment* step of the merge algorithm).
     ///
-    /// Locked jobs keep exactly their fixed start time; every other job moves
+    /// Locked jobs keep exactly their fixed start time and, for condition
+    /// broadcasts, the bus `original` assigned to them; every other job moves
     /// to the earliest moment allowed by data dependencies and resource
     /// availability, and the relative priority (original activation order) of
     /// unlocked jobs on each resource is preserved, as required by Section 5.1
-    /// of the paper.
+    /// of the paper. Locks that data dependencies push past their fixed time
+    /// are reported through [`PathSchedule::slipped_locks`]; locks for jobs
+    /// that are not part of `track` are ignored (processes of other
+    /// alternative paths never execute on this one).
+    ///
+    /// This convenience wrapper rebuilds the track context on every call;
+    /// repeated rescheduling should go through [`ListScheduler::context`] and
+    /// [`TrackContext::reschedule`].
     #[must_use]
     pub fn reschedule(
         &self,
@@ -149,13 +146,9 @@ impl<'a> ListScheduler<'a> {
         original: &PathSchedule,
         locks: &HashMap<Job, Time>,
     ) -> PathSchedule {
-        // Priority: earlier original start  =>  scheduled earlier.
-        let priorities: HashMap<Job, u64> = original
-            .jobs()
-            .iter()
-            .map(|sj| (sj.job(), u64::MAX - sj.start().as_u64()))
-            .collect();
-        self.run(track, &priorities, locks)
+        let mut lock_set = self.empty_locks();
+        lock_set.extend(locks.iter().map(|(&job, &time)| (job, time)));
+        self.context(track).reschedule(original, &lock_set)
     }
 
     /// Partial-critical-path priorities: the length of the longest chain of
@@ -192,257 +185,12 @@ impl<'a> ListScheduler<'a> {
         }
         priorities
     }
-
-    /// Serial schedule-generation scheme: commits eligible jobs in priority
-    /// order to the earliest feasible slot of their resource.
-    fn run(
-        &self,
-        track: &Track,
-        priorities: &HashMap<Job, u64>,
-        locks: &HashMap<Job, Time>,
-    ) -> PathSchedule {
-        let cpg = self.cpg;
-        let needs_broadcast =
-            self.arch.computation_elements().count() > 1 && self.arch.broadcast_buses().count() > 0;
-        let broadcast_buses: Vec<PeId> = self.arch.broadcast_buses().collect();
-
-        // The jobs of this path.
-        let mut jobs: Vec<Job> = track.processes().iter().map(|&p| Job::Process(p)).collect();
-        if needs_broadcast {
-            jobs.extend(track.determined_conditions().map(Job::Broadcast));
-        }
-
-        // Dependencies: a process waits for every input it receives on this
-        // path; a broadcast waits for its disjunction process.
-        let mut preds: HashMap<Job, Vec<Job>> = HashMap::with_capacity(jobs.len());
-        for &job in &jobs {
-            let list = match job {
-                Job::Process(pid) => cpg
-                    .in_edges(pid)
-                    .filter(|edge| {
-                        track.contains(edge.from())
-                            && edge
-                                .condition()
-                                .is_none_or(|lit| track.label().contains(lit))
-                    })
-                    .map(|edge| Job::Process(edge.from()))
-                    .collect(),
-                Job::Broadcast(cond) => vec![Job::Process(cpg.disjunction_of(cond))],
-            };
-            preds.insert(job, list);
-        }
-
-        // Guard availability: the run-time scheduler of a processing element
-        // can only activate a job once it can evaluate the job's guard, i.e.
-        // once every condition the guard depends on is known locally (either
-        // computed on the same element or received through a broadcast). The
-        // per-job requirement is the cheapest guard cube satisfied on this
-        // path.
-        let guard_requirements: HashMap<Job, Vec<CondId>> = jobs
-            .iter()
-            .map(|&job| {
-                let guard = match job {
-                    Job::Process(pid) => cpg.guard(pid),
-                    Job::Broadcast(cond) => cpg.guard(cpg.disjunction_of(cond)),
-                };
-                let cube = guard
-                    .cubes()
-                    .iter()
-                    .filter(|cube| track.label().implies(cube))
-                    .min_by_key(|cube| cube.len())
-                    .copied()
-                    .unwrap_or(Cube::top());
-                (job, cube.conditions().collect::<Vec<_>>())
-            })
-            .collect();
-
-        // Exclusive-resource calendars, pre-reserving the locked jobs.
-        let mut calendars: HashMap<PeId, Calendar> = HashMap::new();
-        for (&job, &start) in locks {
-            if let Some(pe) = self.pe_of(job, &broadcast_buses, None) {
-                if self.arch.is_exclusive(pe) {
-                    calendars
-                        .entry(pe)
-                        .or_default()
-                        .reserve(start, self.duration_of(job));
-                }
-            }
-        }
-
-        let mut scheduled: HashMap<Job, ScheduledJob> = HashMap::with_capacity(jobs.len());
-        let mut remaining: Vec<Job> = jobs.clone();
-
-        while !remaining.is_empty() {
-            // Eligible jobs: all predecessors committed.
-            let mut best: Option<(u64, Job)> = None;
-            for &job in &remaining {
-                let eligible = preds[&job].iter().all(|p| scheduled.contains_key(p));
-                if !eligible {
-                    continue;
-                }
-                let priority = priorities.get(&job).copied().unwrap_or(0);
-                let better = match best {
-                    None => true,
-                    Some((bp, bj)) => priority > bp || (priority == bp && job < bj),
-                };
-                if better {
-                    best = Some((priority, job));
-                }
-            }
-            let (_, job) = best.expect("acyclic graphs always have an eligible job");
-            remaining.retain(|&j| j != job);
-
-            let mut data_ready = preds[&job]
-                .iter()
-                .map(|p| scheduled[p].end())
-                .max()
-                .unwrap_or(Time::ZERO);
-            // The guard of the job must be decidable on its processing
-            // element before it can be activated (requirement 4 of the
-            // paper's Section 3, applied while building the path schedule).
-            if needs_broadcast {
-                let local_pe = match job {
-                    Job::Process(pid) => cpg.mapping(pid),
-                    Job::Broadcast(_) => None,
-                };
-                for &cond in &guard_requirements[&job] {
-                    data_ready =
-                        data_ready.max(condition_available(cpg, &scheduled, cond, local_pe));
-                }
-            }
-            let duration = self.duration_of(job);
-            let entry = if let Some(&lock) = locks.get(&job) {
-                // Locked jobs keep the activation time fixed in the table.
-                let start = lock.max(data_ready);
-                let pe = self.pe_of(job, &broadcast_buses, Some(start));
-                ScheduledJob {
-                    job,
-                    start,
-                    end: start + duration,
-                    pe,
-                }
-            } else {
-                match self.placement(job, &broadcast_buses, data_ready, duration, &calendars) {
-                    Some((pe, start)) => {
-                        if self.arch.is_exclusive(pe) {
-                            calendars.entry(pe).or_default().reserve(start, duration);
-                        }
-                        ScheduledJob {
-                            job,
-                            start,
-                            end: start + duration,
-                            pe: Some(pe),
-                        }
-                    }
-                    // Dummy source/sink: no resource.
-                    None => ScheduledJob {
-                        job,
-                        start: data_ready,
-                        end: data_ready + duration,
-                        pe: None,
-                    },
-                }
-            };
-            scheduled.insert(job, entry);
-        }
-
-        let delay = scheduled
-            .get(&Job::Process(cpg.sink()))
-            .map_or(Time::ZERO, ScheduledJob::start);
-        PathSchedule::new(track.label(), scheduled.into_values().collect(), delay)
-    }
-
-    /// Duration of a job.
-    fn duration_of(&self, job: Job) -> Time {
-        match job {
-            Job::Process(pid) => self.cpg.exec_time(pid),
-            Job::Broadcast(_) => self.broadcast_time,
-        }
-    }
-
-    /// Resource of a job. Broadcasts without a decided start time use the
-    /// first broadcast bus (good enough for lock pre-reservation); with a
-    /// start time they keep that choice.
-    fn pe_of(&self, job: Job, broadcast_buses: &[PeId], _at: Option<Time>) -> Option<PeId> {
-        match job {
-            Job::Process(pid) => self.cpg.mapping(pid),
-            Job::Broadcast(_) => broadcast_buses.first().copied(),
-        }
-    }
-
-    /// Chooses the resource and earliest feasible start for an unlocked job.
-    fn placement(
-        &self,
-        job: Job,
-        broadcast_buses: &[PeId],
-        data_ready: Time,
-        duration: Time,
-        calendars: &HashMap<PeId, Calendar>,
-    ) -> Option<(PeId, Time)> {
-        let fit = |pe: PeId| -> Time {
-            if self.arch.is_exclusive(pe) {
-                calendars
-                    .get(&pe)
-                    .map_or(data_ready, |c| c.earliest_fit(data_ready, duration))
-            } else {
-                data_ready
-            }
-        };
-        match job {
-            Job::Process(pid) => self.cpg.mapping(pid).map(|pe| (pe, fit(pe))),
-            Job::Broadcast(_) => broadcast_buses
-                .iter()
-                .map(|&bus| (bus, fit(bus)))
-                .min_by_key(|&(bus, start)| (start, bus))
-                .or(None),
-        }
-    }
-}
-
-/// The moment the value of `cond` becomes available to the run-time scheduler
-/// of `pe` under the (partially built) schedule `scheduled`: the completion of
-/// the disjunction process on its own processing element, the completion of
-/// the broadcast everywhere else. Jobs without a resource (`pe == None`, i.e.
-/// condition broadcasts whose bus is chosen later, and the dummy processes)
-/// conservatively use the broadcast completion as well.
-fn condition_available(
-    cpg: &Cpg,
-    scheduled: &HashMap<Job, ScheduledJob>,
-    cond: CondId,
-    pe: Option<PeId>,
-) -> Time {
-    let disjunction = cpg.disjunction_of(cond);
-    let computed = scheduled
-        .get(&Job::Process(disjunction))
-        .map_or(Time::ZERO, ScheduledJob::end);
-    match pe {
-        Some(pe) if cpg.mapping(disjunction) == Some(pe) => computed,
-        _ => scheduled
-            .get(&Job::Broadcast(cond))
-            .map_or(computed, ScheduledJob::end),
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cpg::{enumerate_tracks, examples, Cube};
-
-    #[test]
-    fn calendar_finds_gaps_and_appends() {
-        let mut cal = Calendar::default();
-        cal.reserve(Time::new(10), Time::new(5));
-        cal.reserve(Time::new(20), Time::new(5));
-        // Fits before the first interval.
-        assert_eq!(cal.earliest_fit(Time::ZERO, Time::new(5)), Time::ZERO);
-        // Does not fit before, lands in the gap between the intervals.
-        assert_eq!(cal.earliest_fit(Time::new(8), Time::new(5)), Time::new(15));
-        // Too long for any gap: appended after the last interval.
-        assert_eq!(cal.earliest_fit(Time::ZERO, Time::new(11)), Time::new(25));
-        // Zero-length reservations are ignored.
-        cal.reserve(Time::new(2), Time::ZERO);
-        assert_eq!(cal.earliest_fit(Time::ZERO, Time::new(5)), Time::ZERO);
-    }
 
     #[test]
     fn diamond_schedules_both_tracks_correctly() {
@@ -576,6 +324,7 @@ mod tests {
 
         let adjusted = scheduler.reschedule(track, &original, &locks);
         assert_eq!(adjusted.start(Job::Process(decide)), Some(locked_start));
+        assert!(adjusted.slipped_locks().is_empty());
         // Everything still valid, possibly longer.
         adjusted.verify(cpg, system.arch()).unwrap();
         assert!(adjusted.delay() >= original.delay());
@@ -609,6 +358,7 @@ mod tests {
                 assert_eq!(adjusted.start(sj.job()), Some(sj.start()), "{}", sj.job());
             }
             assert_eq!(adjusted.delay(), original.delay());
+            assert!(adjusted.slipped_locks().is_empty());
         }
     }
 
@@ -640,6 +390,122 @@ mod tests {
         );
         // The same set of jobs is scheduled.
         assert_eq!(adjusted.len(), original.len());
+    }
+
+    #[test]
+    fn locked_broadcasts_keep_their_original_bus() {
+        // Two broadcast buses: the optimal schedule may spread broadcasts
+        // over both. Locking a broadcast through `reschedule` must keep the
+        // bus the original schedule assigned, not silently migrate the
+        // broadcast to the first bus.
+        use cpg::CpgBuilder;
+        let arch = Architecture::builder()
+            .processor("cpu0")
+            .processor("cpu1")
+            .bus("bus0")
+            .bus("bus1")
+            .build()
+            .unwrap();
+        let cpu0 = arch.pe_by_name("cpu0").unwrap();
+        let cpu1 = arch.pe_by_name("cpu1").unwrap();
+        let bus1 = arch.pe_by_name("bus1").unwrap();
+        let mut b = CpgBuilder::new();
+        let c = b.condition("C");
+        let d = b.condition("D");
+        let r1 = b.process("r1", Time::new(2), cpu0);
+        let r2 = b.process("r2", Time::new(2), cpu1);
+        let a1 = b.process("a1", Time::new(2), cpu0);
+        let a2 = b.process("a2", Time::new(2), cpu0);
+        let b1 = b.process("b1", Time::new(2), cpu1);
+        let b2 = b.process("b2", Time::new(2), cpu1);
+        b.conditional_edge(r1, a1, c.is_true(), Time::ZERO);
+        b.conditional_edge(r1, a2, c.is_false(), Time::ZERO);
+        b.conditional_edge(r2, b1, d.is_true(), Time::ZERO);
+        b.conditional_edge(r2, b2, d.is_false(), Time::ZERO);
+        let cpg = b.build(&arch).unwrap();
+        let tracks = enumerate_tracks(&cpg);
+        let scheduler = ListScheduler::new(&cpg, &arch, Time::new(3));
+
+        // Find a track whose optimal schedule puts some broadcast on bus1
+        // (both disjunction processes finish simultaneously, so the two
+        // broadcasts are spread over the two buses).
+        let (track, original, cond) = tracks
+            .iter()
+            .find_map(|track| {
+                let schedule = scheduler.schedule_track(track);
+                let cond = track.determined_conditions().find(|&cond| {
+                    schedule.entry(Job::Broadcast(cond)).map(|sj| sj.pe()) == Some(Some(bus1))
+                })?;
+                Some((track, schedule, cond))
+            })
+            .expect("two simultaneous broadcasts must use both buses");
+
+        let mut locks = HashMap::new();
+        let start = original.start(Job::Broadcast(cond)).unwrap();
+        locks.insert(Job::Broadcast(cond), start);
+        let adjusted = scheduler.reschedule(track, &original, &locks);
+        let entry = adjusted.entry(Job::Broadcast(cond)).unwrap();
+        assert_eq!(entry.start(), start);
+        assert_eq!(
+            entry.pe(),
+            Some(bus1),
+            "locked broadcast migrated off its original bus"
+        );
+        assert!(adjusted.slipped_locks().is_empty());
+        adjusted.verify(&cpg, &arch).unwrap();
+    }
+
+    #[test]
+    fn slipped_locks_are_reported_and_keep_the_calendar_consistent() {
+        let system = examples::diamond();
+        let cpg = system.cpg();
+        let tracks = enumerate_tracks(cpg);
+        let scheduler = ListScheduler::new(cpg, system.arch(), system.broadcast_time());
+        let track = &tracks.tracks()[0];
+        let original = scheduler.schedule_track(track);
+
+        // Lock the disjunction process later than its original start and a
+        // downstream process (which needs the condition value) at a time that
+        // is now impossible: the downstream lock must slip and be reported,
+        // and jobs committed after the slip are placed around the interval
+        // the slipped job really occupies.
+        let decide = cpg.process_by_name("decide").unwrap();
+        let decide_start = original.start(Job::Process(decide)).unwrap();
+        let victim = original
+            .jobs()
+            .iter()
+            .find(|sj| {
+                sj.job().as_process().is_some_and(|p| {
+                    !cpg.process(p).kind().is_dummy()
+                        && p != decide
+                        && sj.start() > decide_start
+                        && cpg.mapping(p).is_some()
+                })
+            })
+            .expect("a schedulable process follows the disjunction");
+
+        let mut locks = HashMap::new();
+        locks.insert(Job::Process(decide), decide_start + Time::new(10));
+        locks.insert(victim.job(), victim.start());
+
+        let adjusted = scheduler.reschedule(track, &original, &locks);
+        assert_eq!(
+            adjusted.start(Job::Process(decide)),
+            Some(decide_start + Time::new(10))
+        );
+        let slipped = adjusted.slipped_locks();
+        assert!(
+            slipped.iter().any(|s| s.job() == victim.job()),
+            "pushed lock was not reported as slipped: {slipped:?}"
+        );
+        for slip in slipped {
+            assert!(slip.actual() > slip.intended());
+            assert_eq!(adjusted.start(slip.job()), Some(slip.actual()));
+            assert!(slip.to_string().contains("locked at"));
+        }
+        // Even with the slip, the schedule must stay structurally valid (no
+        // overlap with the slipped job's real interval).
+        adjusted.verify(cpg, system.arch()).unwrap();
     }
 
     #[test]
@@ -773,6 +639,8 @@ mod tests {
             for pair in resolutions.windows(2) {
                 assert!(pair[0].1 <= pair[1].1);
             }
+            // The cache attached by the scheduler matches the derived list.
+            assert_eq!(schedule.resolutions(), resolutions.as_slice());
         }
     }
 }

@@ -109,7 +109,9 @@ pub mod prelude {
         condition_oblivious_baseline, generate_schedule_table, MergeConfig, MergeResult,
         SelectionPolicy,
     };
-    pub use cpg_path_sched::{Job, ListScheduler, PathSchedule};
+    pub use cpg_path_sched::{
+        Job, ListScheduler, LockSet, PathSchedule, SlippedLock, TrackContext,
+    };
     pub use cpg_sim::{SimViolation, SimulationReport, Simulator};
     pub use cpg_table::{ScheduleTable, TableViolation};
 }

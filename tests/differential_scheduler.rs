@@ -1,0 +1,145 @@
+//! Differential property tests of the indexed scheduling core against the
+//! retained naive reference scheduler (`cpg_path_sched::reference`, compiled
+//! via the `test-util` feature).
+//!
+//! The `TrackContext` rewrite replaced the O(n²) eligible-job rescans and the
+//! `HashMap`-keyed scheduler state with dense indexed structures and a
+//! binary-heap ready queue. The two implementations must be *observably
+//! identical*: for every alternative path of arbitrary generated systems,
+//! both `schedule_track` and `reschedule` (under random lock sets) must
+//! produce the same `(start, end, resource)` assignment for every job, the
+//! same path delay, the same cached condition resolutions and the same
+//! slipped-lock reports.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use cpg_path_sched::reference;
+use cps::model::enumerate_tracks;
+use cps::prelude::*;
+
+/// Generator configurations covering conditional structure, heterogeneous
+/// architectures (multiple buses matter: broadcast placement is the
+/// historically buggy path) and both execution-time distributions.
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        12usize..48,
+        2usize..10,
+        1usize..5,
+        1usize..4,
+        any::<u64>(),
+        prop::bool::ANY,
+    )
+        .prop_map(|(nodes, paths, processors, buses, seed, exponential)| {
+            let distribution = if exponential {
+                cps::gen::ExecTimeDistribution::Exponential { mean: 7.0 }
+            } else {
+                cps::gen::ExecTimeDistribution::Uniform { min: 1, max: 15 }
+            };
+            GeneratorConfig::new(nodes.max(3 * paths), paths)
+                .with_processors(processors)
+                .with_buses(buses)
+                .with_distribution(distribution)
+                .with_seed(seed)
+        })
+}
+
+/// Asserts that two schedules of the same track are observably identical.
+fn assert_identical(fast: &PathSchedule, slow: &PathSchedule) -> Result<(), TestCaseError> {
+    prop_assert_eq!(fast.label(), slow.label());
+    prop_assert_eq!(fast.delay(), slow.delay());
+    prop_assert_eq!(fast.len(), slow.len());
+    for sj in fast.jobs() {
+        let other = slow.entry(sj.job());
+        prop_assert!(other.is_some(), "{} missing from reference", sj.job());
+        let other = other.unwrap();
+        prop_assert!(
+            sj.start() == other.start() && sj.end() == other.end() && sj.pe() == other.pe(),
+            "divergence on {}: indexed {:?}..{:?} on {:?}, reference {:?}..{:?} on {:?}",
+            sj.job(),
+            sj.start(),
+            sj.end(),
+            sj.pe(),
+            other.start(),
+            other.end(),
+            other.pe()
+        );
+    }
+    prop_assert_eq!(fast.resolutions(), slow.resolutions());
+    prop_assert_eq!(fast.slipped_locks(), slow.slipped_locks());
+    Ok(())
+}
+
+proptest! {
+    // Pinned case count and shrink budget: CI runs must be deterministic and
+    // fast regardless of PROPTEST_CASES / PROPTEST_MAX_SHRINK_ITERS in the
+    // environment.
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn indexed_core_matches_reference_on_schedule_track(config in config_strategy()) {
+        let system = generate(&config);
+        let cpg = system.cpg();
+        let arch = system.arch();
+        let tau0 = system.broadcast_time();
+        let scheduler = ListScheduler::new(cpg, arch, tau0);
+        for track in enumerate_tracks(cpg).iter() {
+            let fast = scheduler.schedule_track(track);
+            let slow = reference::schedule_track(cpg, arch, tau0, track);
+            assert_identical(&fast, &slow)?;
+        }
+    }
+
+    #[test]
+    fn indexed_core_matches_reference_on_reschedule_with_random_locks(
+        config in config_strategy(),
+        lock_mask in any::<u64>(),
+        offset in 0u64..6,
+    ) {
+        let system = generate(&config);
+        let cpg = system.cpg();
+        let arch = system.arch();
+        let tau0 = system.broadcast_time();
+        let scheduler = ListScheduler::new(cpg, arch, tau0);
+        for track in enumerate_tracks(cpg).iter() {
+            let ctx = scheduler.context(track);
+            let original = ctx.schedule();
+
+            // Random lock set: a pseudo-random subset of the jobs, locked at
+            // their original start shifted by a small offset — this exercises
+            // honoured locks, slipped locks and locked broadcasts alike.
+            let mut dense_locks = LockSet::for_graph(cpg);
+            let mut map_locks: HashMap<Job, Time> = HashMap::new();
+            for (i, sj) in original.jobs().iter().enumerate() {
+                if lock_mask & (1 << (i % 64)) == 0 {
+                    continue;
+                }
+                let time = sj.start() + Time::new(offset * (i as u64 % 3));
+                dense_locks.insert(sj.job(), time);
+                map_locks.insert(sj.job(), time);
+            }
+            // Locks for jobs of *other* paths must be ignored identically by
+            // both implementations.
+            for pid in cpg.schedulable_processes().filter(|&p| !track.contains(p)).take(3) {
+                let job = Job::Process(pid);
+                dense_locks.insert(job, Time::new(offset));
+                map_locks.insert(job, Time::new(offset));
+            }
+
+            let fast = ctx.reschedule(&original, &dense_locks);
+            let slow = reference::reschedule(cpg, arch, tau0, track, &original, &map_locks);
+            assert_identical(&fast, &slow)?;
+
+            // The dense lock set agrees with the map it mirrors.
+            prop_assert_eq!(dense_locks.len(), map_locks.len());
+            for (job, time) in dense_locks.iter() {
+                prop_assert_eq!(map_locks.get(&job).copied(), Some(time));
+            }
+        }
+    }
+}
