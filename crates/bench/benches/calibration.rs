@@ -1,0 +1,36 @@
+//! Code-stable calibration benchmark for the hardware-independent regression
+//! gate.
+//!
+//! `bench_guard` compares `schedule_merging/*` medians against a committed
+//! baseline, but absolute nanoseconds depend on the machine: a CI runner
+//! slower than the recording machine fails the gate spuriously. This
+//! benchmark is a fixed integer workload that never changes with the
+//! scheduler code, so the ratio `current calibration / baseline calibration`
+//! measures the speed of the machine (and its current load), and the guard
+//! divides every gated measurement by it before comparing.
+//!
+//! Keep this routine untouched across PRs — editing it silently rescales the
+//! gate for every committed baseline that contains its median.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Deterministic splitmix-style integer churn: branch-free, allocation-free,
+/// independent of every workspace crate.
+fn spin(rounds: u64) -> u64 {
+    let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+    for i in 0..rounds {
+        acc = acc.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(i | 1);
+        acc ^= acc >> 29;
+    }
+    acc
+}
+
+fn calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration");
+    group.sample_size(15);
+    group.bench_function("spin", |b| b.iter(|| spin(black_box(20_000))));
+    group.finish();
+}
+
+criterion_group!(benches, calibration);
+criterion_main!(benches);

@@ -1,14 +1,26 @@
-//! Benchmark regression gate.
+//! Benchmark regression gate, normalized by a code-stable calibration
+//! benchmark so it is independent of the absolute speed of the machine.
 //!
 //! Compares a fresh criterion-shim measurement (the JSON-lines file produced
 //! by running `cargo bench` with `CRITERION_JSON=<path>`) against a committed
-//! baseline (`BENCH_1.json`) and fails when any `schedule_merging/*` median
+//! baseline (`BENCH_2.json`) and fails when any `schedule_merging/*` median
 //! regresses by more than the allowed percentage.
 //!
+//! When both files contain the `calibration/spin` benchmark (a fixed integer
+//! workload that never changes with the scheduler code, see
+//! `benches/calibration.rs`), every current median is divided by the machine
+//! scale `current calibration / baseline calibration` before comparing:
+//! a runner that is uniformly 2× slower than the recording machine measures
+//! a 2× slower calibration spin too, and the gated ratios cancel the
+//! difference out. Without a calibration entry on both sides the guard
+//! falls back to comparing absolute nanoseconds (the pre-calibration
+//! behaviour, needed for old baselines such as `BENCH_1.json`).
+//!
 //! ```text
-//! CRITERION_JSON=bench_current.json cargo bench --bench merge_time --bench path_schedule_time
+//! CRITERION_JSON=bench_current.json cargo bench --bench calibration \
+//!     --bench merge_time --bench path_schedule_time
 //! cargo run --release -p cpg-bench --bin bench_guard -- \
-//!     --baseline BENCH_1.json --current bench_current.json
+//!     --baseline BENCH_2.json --current bench_current.json
 //! ```
 //!
 //! `--emit <path> --label <name>` additionally writes the current
@@ -26,11 +38,14 @@ use std::process::ExitCode;
 /// for information only.
 const GATED_PREFIX: &str = "schedule_merging/";
 
-/// Allowed regression of a gated median, in percent.
+/// The code-stable calibration benchmark used to normalize out machine speed.
+const CALIBRATION_BENCH: &str = "calibration/spin";
+
+/// Allowed regression of a gated calibration-normalized median, in percent.
 const ALLOWED_REGRESSION_PERCENT: f64 = 25.0;
 
 fn main() -> ExitCode {
-    let mut baseline_path = String::from("BENCH_1.json");
+    let mut baseline_path = String::from("BENCH_2.json");
     let mut current_path = None;
     let mut emit_path = None;
     let mut label = String::from("BENCH_CURRENT");
@@ -90,12 +105,54 @@ fn main() -> ExitCode {
         }
     };
 
+    // Machine scale: how much slower (or faster) this run's hardware is than
+    // the machine that recorded the baseline, measured by the code-stable
+    // calibration benchmark present in both files.
+    let calibration_of = |rows: &[(String, f64)]| {
+        rows.iter()
+            .find(|(n, _)| n == CALIBRATION_BENCH)
+            .map(|&(_, m)| m)
+            .filter(|&m| m > 0.0)
+    };
+    let scale = match (calibration_of(&baseline), calibration_of(&current)) {
+        (Some(base_cal), Some(current_cal)) => {
+            let scale = current_cal / base_cal;
+            println!(
+                "calibration ({CALIBRATION_BENCH}): baseline {base_cal:.0} ns, \
+                 current {current_cal:.0} ns -> machine scale {scale:.3}"
+            );
+            scale
+        }
+        (Some(_), None) => {
+            // The baseline was recorded with calibration, so comparing raw
+            // nanoseconds against it would bring back exactly the
+            // machine-dependent failures the calibration exists to prevent:
+            // the current run is misconfigured (it did not include
+            // `--bench calibration`).
+            eprintln!(
+                "\"{CALIBRATION_BENCH}\" is in {baseline_path} but missing from \
+                 {current_path}; run cargo bench with --bench calibration"
+            );
+            return ExitCode::FAILURE;
+        }
+        (None, _) => {
+            eprintln!(
+                "warning: \"{CALIBRATION_BENCH}\" missing from baseline {baseline_path}; \
+                 comparing absolute (machine-dependent) nanoseconds"
+            );
+            1.0
+        }
+    };
+
     let mut failures = 0usize;
     println!(
         "{:<36} {:>14} {:>14} {:>9}  gate",
-        "benchmark", "baseline (ns)", "current (ns)", "change"
+        "benchmark", "baseline (ns)", "normalized (ns)", "change"
     );
     for (name, base_median) in &baseline {
+        if name == CALIBRATION_BENCH {
+            continue;
+        }
         let Some((_, current_median)) = current.iter().find(|(n, _)| n == name) else {
             println!(
                 "{name:<36} {base_median:>14.0} {:>14} {:>9}  MISSING",
@@ -106,7 +163,8 @@ fn main() -> ExitCode {
             }
             continue;
         };
-        let change = (current_median - base_median) / base_median * 100.0;
+        let normalized = current_median / scale;
+        let change = (normalized - base_median) / base_median * 100.0;
         let gated = name.starts_with(GATED_PREFIX);
         let verdict = if !gated {
             "info"
@@ -116,15 +174,14 @@ fn main() -> ExitCode {
         } else {
             "ok"
         };
-        println!(
-            "{name:<36} {base_median:>14.0} {current_median:>14.0} {change:>+8.1}%  {verdict}"
-        );
+        println!("{name:<36} {base_median:>14.0} {normalized:>14.0} {change:>+8.1}%  {verdict}");
     }
 
     if failures > 0 {
         eprintln!(
             "{failures} gated benchmark(s) regressed more than \
-             {ALLOWED_REGRESSION_PERCENT}% (or went missing) against {baseline_path}"
+             {ALLOWED_REGRESSION_PERCENT}% (calibration-normalized, or went missing) \
+             against {baseline_path}"
         );
         return ExitCode::FAILURE;
     }
@@ -198,7 +255,7 @@ fn compose_baseline(label: &str, rows: &[(String, f64)]) -> String {
     let _ = writeln!(out, "  \"baseline\": \"{label}\",");
     let _ = writeln!(
         out,
-        "  \"command\": \"CRITERION_JSON=<path> cargo bench --bench merge_time --bench path_schedule_time\","
+        "  \"command\": \"CRITERION_JSON=<path> cargo bench --bench calibration --bench merge_time --bench path_schedule_time\","
     );
     let _ = writeln!(out, "  \"units\": \"median nanoseconds per iteration\",");
     let _ = writeln!(out, "  \"benchmarks\": [");

@@ -247,6 +247,31 @@ pub fn table1_report() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Schedule table of the Fig. 1 example (Table 1):\n");
     out.push_str(&result.table().render(system.cpg()));
+    // Resource provenance: the bus each tabled broadcast occupies (recorded
+    // when the activation time was tabled; this is the bus the run-time bus
+    // scheduler dispatches the broadcast on).
+    let mut broadcast_buses: Vec<String> = result
+        .table()
+        .all_entries_on()
+        .filter_map(|(job, column, time, resource)| {
+            let cond = job.as_broadcast()?;
+            let bus = resource?;
+            Some(format!(
+                "  {} at {} in [{}] on {}",
+                system.cpg().condition_name(cond),
+                time,
+                system.cpg().display_cube(&column),
+                system.arch().pe(bus).name()
+            ))
+        })
+        .collect();
+    broadcast_buses.sort();
+    if !broadcast_buses.is_empty() {
+        let _ = writeln!(out, "\nbroadcast dispatch (recorded bus):");
+        for line in broadcast_buses {
+            let _ = writeln!(out, "{line}");
+        }
+    }
     let _ = writeln!(
         out,
         "\nworst case delay delta_max = {} (delta_M = {})",

@@ -118,7 +118,7 @@ pub fn condition_oblivious_baseline(
             continue;
         }
         let original = reverse[&stripped_pid];
-        table.set(Job::Process(original), Cube::top(), sj.start());
+        table.set_on(Job::Process(original), Cube::top(), sj.start(), sj.pe());
     }
     BaselineResult {
         table,

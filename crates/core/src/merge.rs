@@ -29,7 +29,7 @@
 
 use cpg::{enumerate_tracks, Assignment, CondId, Cpg, Cube, Track, TrackSet};
 use cpg_arch::{Architecture, PeId, Time};
-use cpg_path_sched::{Job, ListScheduler, LockSet, PathSchedule, TrackContext};
+use cpg_path_sched::{Job, ListScheduler, LockSet, PathSchedule, SlippedLock, TrackContext};
 use cpg_table::ScheduleTable;
 
 use crate::config::{MergeConfig, SelectionPolicy};
@@ -105,6 +105,7 @@ pub fn generate_schedule_table_for_tracks(
         table: ScheduleTable::new(),
         steps: Vec::new(),
         stats: MergeStats::default(),
+        saw_slip: false,
     };
     merger.run();
     let Merger {
@@ -129,12 +130,19 @@ pub fn generate_schedule_table_for_tracks(
 /// Outcome of placing one activation time into the table.
 enum Placement {
     /// The activation time was placed (or was already present) at the
-    /// schedule's own start time.
-    Kept,
-    /// A conflict forced the process to a previously tabled activation time;
-    /// the current schedule must be re-adjusted around the new time.
-    Moved(Time),
+    /// schedule's own start time, on the recorded resource.
+    Kept(Option<PeId>),
+    /// A conflict forced the process to a previously tabled activation time
+    /// (carrying the resource recorded for that entry); the current schedule
+    /// must be re-adjusted around the new time.
+    Moved(Time, Option<PeId>),
 }
+
+/// Upper bound on reschedule → re-place rounds per adjustment. Every round
+/// either moves a slipped lock to its strictly later achievable start or to a
+/// previously tabled candidate, so the loop converges quickly in practice;
+/// the cap only guards against pathological oscillation between candidates.
+const SLIP_REPAIR_ROUNDS: usize = 16;
 
 struct Merger<'a> {
     cpg: &'a Cpg,
@@ -145,6 +153,9 @@ struct Merger<'a> {
     table: ScheduleTable,
     steps: Vec<MergeStep>,
     stats: MergeStats,
+    /// `true` once any adjustment reported a slipped lock; gates the final
+    /// realizability sweep that computes [`MergeStats::lock_slips`].
+    saw_slip: bool,
 }
 
 impl Merger<'_> {
@@ -156,34 +167,153 @@ impl Merger<'_> {
         let schedule = self.optimal[root].clone();
         let fixed = LockSet::for_graph(self.cpg);
         self.walk(root, schedule, decided, fixed);
+        // Adjustments that slipped fed the divergent entries back through the
+        // Theorem-2 re-placement loop; whatever the repairs could not absorb
+        // is what the final table still cannot realize. Replaying the table
+        // through the scheduler gives the exact surviving count (0 whenever
+        // no slip was ever observed, so the sweep is skipped then).
+        if self.saw_slip {
+            self.stats.lock_slips = self.residual_slips();
+        }
     }
 
-    /// Re-schedules a track around the locked activation times and accounts
-    /// for any lock the scheduler could not honour. Repair restarts re-run
-    /// the scheduler with a superset of the previous locks, so only slips
-    /// that were not already present in `previous` are counted — a single
-    /// divergent table entry is reported once, not once per restart.
+    /// Re-schedules a track around the locked activation times, feeding every
+    /// slipped lock back through the Theorem-2 re-placement loop: the stale
+    /// intended time is dropped from the table, the job is re-placed at the
+    /// start it can actually achieve (or moved to a previously tabled time by
+    /// the conflict repair), the lock is updated, and the track is
+    /// re-adjusted — until no lock slips or the round cap is reached.
     fn adjust(
         &mut self,
         track_idx: usize,
-        locks: &LockSet,
-        previous: Option<&PathSchedule>,
+        locks: &mut LockSet,
+        decided: &Assignment,
     ) -> PathSchedule {
-        let adjusted = self.contexts[track_idx].reschedule(&self.optimal[track_idx], locks);
-        let already_counted = |slip: &cpg_path_sched::SlippedLock| {
-            previous.is_some_and(|schedule| {
-                schedule
-                    .slipped_locks()
-                    .iter()
-                    .any(|p| p.job() == slip.job() && p.intended() == slip.intended())
-            })
-        };
-        self.stats.lock_slips += adjusted
-            .slipped_locks()
-            .iter()
-            .filter(|slip| !already_counted(slip))
-            .count();
+        let mut adjusted = self.contexts[track_idx].reschedule(&self.optimal[track_idx], locks);
+        let mut rounds = 0;
+        while !adjusted.slipped_locks().is_empty() && rounds < SLIP_REPAIR_ROUNDS {
+            self.saw_slip = true;
+            let slips: Vec<SlippedLock> = adjusted.slipped_locks().to_vec();
+            let mut progressed = false;
+            for slip in &slips {
+                progressed |= self.repair_slip(&adjusted, decided, slip, locks);
+            }
+            if !progressed {
+                break;
+            }
+            adjusted = self.contexts[track_idx].reschedule(&self.optimal[track_idx], locks);
+            rounds += 1;
+        }
+        self.saw_slip |= !adjusted.slipped_locks().is_empty();
         adjusted
+    }
+
+    /// Repairs one slipped lock by re-timing the stale tabled entries the
+    /// lock was derived from.
+    ///
+    /// The stale entries are every tabled time of the job equal to the
+    /// slipped intended time in a column compatible with the conditions
+    /// decided on this tree path. They are updated *in their own columns*
+    /// rather than removed: a lock inherited at a back-step always comes from
+    /// an ancestor-dependent column that also covers the sibling subtrees, so
+    /// dropping the entry (or refining its column with conditions unknown at
+    /// activation time) would strip those subtrees of their activation or
+    /// violate requirement 4. The replacement time follows the Theorem-2
+    /// discipline: one of the previously tabled activation times of the job
+    /// that the adjusted schedule can actually reach, falling back to the
+    /// start the schedule achieved when no tabled time is achievable. The
+    /// caller re-runs the scheduler with the updated lock; a repair that is
+    /// still too early slips again and is re-timed in the next round.
+    ///
+    /// Returns `false` when no stale entry could be located (the slip then
+    /// survives as-is and is picked up by the final realizability sweep).
+    fn repair_slip(
+        &mut self,
+        schedule: &PathSchedule,
+        decided: &Assignment,
+        slip: &SlippedLock,
+        locks: &mut LockSet,
+    ) -> bool {
+        let job = slip.job();
+        let decided_cube = decided.to_cube();
+        let mut stale: Vec<Cube> = self
+            .table
+            .entries(job)
+            .filter(|&(column, time)| time == slip.intended() && column.compatible(&decided_cube))
+            .map(|(column, _)| column)
+            .collect();
+        if stale.is_empty() {
+            return false;
+        }
+        // Closure over compatible same-time columns: an execution can satisfy
+        // a stale column together with any column compatible with it, so
+        // every entry at the intended time that overlaps the rewritten set
+        // must move along or requirement 2 (one time per execution) breaks.
+        loop {
+            let more: Vec<Cube> = self
+                .table
+                .entries(job)
+                .filter(|&(column, time)| {
+                    time == slip.intended()
+                        && !stale.contains(&column)
+                        && stale.iter().any(|s| s.compatible(&column))
+                })
+                .map(|(column, _)| column)
+                .collect();
+            if more.is_empty() {
+                break;
+            }
+            stale.extend(more);
+        }
+
+        // Theorem 2: prefer one of the previously tabled activation times of
+        // this job that the adjusted schedule can reach; invent a new time
+        // only when none is achievable.
+        let mut target = slip.actual();
+        let mut target_pe = schedule.entry(job).and_then(|sj| sj.pe());
+        let tabled_candidate = self
+            .table
+            .entries_on(job)
+            .filter(|(column, time, _)| {
+                *time >= slip.actual()
+                    && *time != slip.intended()
+                    && column.compatible(&decided_cube)
+            })
+            .min_by_key(|&(_, time, _)| time);
+        if let Some((_, time, resource)) = tabled_candidate {
+            target = time;
+            target_pe = resource.or(target_pe);
+        }
+
+        for column in &stale {
+            self.table.set_on(job, *column, target, target_pe);
+        }
+        locks.insert_pinned(job, target, target_pe);
+        self.stats.slip_repairs += 1;
+        true
+    }
+
+    /// Replays the final table through the per-track scheduler: every job of
+    /// every track is locked at its applicable tabled time (pinned to the
+    /// recorded resource) and rescheduled; any lock the scheduler cannot
+    /// honour is an activation time the dispatcher cannot realize. The total
+    /// over all tracks is the surviving-slip count reported by
+    /// [`MergeStats::lock_slips`].
+    fn residual_slips(&self) -> usize {
+        let mut surviving = 0;
+        for (idx, track) in self.tracks.iter().enumerate() {
+            let assignment = Assignment::from_cube(&track.label());
+            let mut locks = LockSet::for_graph(self.cpg);
+            for job in self.track_jobs(track) {
+                if let Some(time) = self.table.activation_time(job, &assignment) {
+                    let pe = self.table.activation_resource(job, &assignment);
+                    locks.insert_pinned(job, time, pe);
+                }
+            }
+            let replay = self.contexts[idx].reschedule(&self.optimal[idx], &locks);
+            surviving += replay.slipped_locks().len();
+        }
+        surviving
     }
 
     /// Picks the reachable path used as the current schedule at a decision
@@ -252,12 +382,12 @@ impl Merger<'_> {
                     }
                 }
                 match self.place(&schedule, &decided, sj.job(), sj.start(), sj.pe()) {
-                    Placement::Kept => {
-                        fixed.insert(sj.job(), sj.start());
+                    Placement::Kept(resource) => {
+                        fixed.insert_pinned(sj.job(), sj.start(), resource);
                     }
-                    Placement::Moved(new_time) => {
-                        fixed.insert(sj.job(), new_time);
-                        schedule = self.adjust(track_idx, &fixed, Some(&schedule));
+                    Placement::Moved(new_time, resource) => {
+                        fixed.insert_pinned(sj.job(), new_time, resource);
+                        schedule = self.adjust(track_idx, &mut fixed, &decided);
                         repaired = true;
                         break;
                     }
@@ -299,8 +429,8 @@ impl Merger<'_> {
         let Some(new_idx) = self.select_track(&decided_back) else {
             return;
         };
-        let locks = self.locks_from_table(new_idx, &decided, &decided_back);
-        let adjusted = self.adjust(new_idx, &locks, None);
+        let mut locks = self.locks_from_table(new_idx, &decided, &decided_back);
+        let adjusted = self.adjust(new_idx, &mut locks, &decided_back);
         self.stats.tree_nodes += 1;
         self.stats.adjustments += 1;
         self.steps.push(MergeStep {
@@ -315,7 +445,9 @@ impl Merger<'_> {
 
     /// Rule 3: activation times already fixed in columns that depend only on
     /// conditions decided at ancestor nodes are enforced on the newly
-    /// selected schedule.
+    /// selected schedule, pinned to the resource recorded when the time was
+    /// tabled — a lock inherited from another path's adjusted schedule must
+    /// occupy the bus that schedule used, not a track-local guess.
     fn locks_from_table(
         &self,
         track_idx: usize,
@@ -326,18 +458,18 @@ impl Merger<'_> {
         let decided_cube = decided.to_cube();
         let mut locks = LockSet::for_graph(self.cpg);
         for job in self.track_jobs(track) {
-            let mut best: Option<(usize, Time)> = None;
-            for (column, time) in self.table.entries(job) {
+            let mut best: Option<(usize, Time, Option<PeId>)> = None;
+            for (column, time, resource) in self.table.entries_on(job) {
                 let ancestors_only = column.conditions().all(|c| ancestors.value(c).is_some());
                 if ancestors_only && decided_cube.implies(&column) {
                     let specificity = column.len();
-                    if best.is_none_or(|(len, _)| specificity > len) {
-                        best = Some((specificity, time));
+                    if best.is_none_or(|(len, _, _)| specificity > len) {
+                        best = Some((specificity, time, resource));
                     }
                 }
             }
-            if let Some((_, time)) = best {
-                locks.insert(job, time);
+            if let Some((_, time, resource)) = best {
+                locks.insert_pinned(job, time, resource);
             }
         }
         locks
@@ -367,25 +499,43 @@ impl Merger<'_> {
         pe: Option<PeId>,
     ) -> Placement {
         let column = self.column_for(schedule, decided, pe, start);
-        let conflicting: Vec<(Cube, Time)> = self
+        let conflicting: Vec<(Time, Option<PeId>)> = self
             .table
-            .compatible_entries(job, &column)
-            .filter(|&(_, t)| t != start)
+            .entries_on(job)
+            .filter(|(existing, t, _)| existing.compatible(&column) && *t != start)
+            .map(|(_, t, resource)| (t, resource))
             .collect();
 
         if conflicting.is_empty() {
-            if self.table.get(job, &column) != Some(start) {
-                self.table.set(job, column, start);
-            }
-            return Placement::Kept;
+            let resource = if self.table.get(job, &column) == Some(start) {
+                self.table.resource(job, &column).or(pe)
+            } else {
+                // Compatible cells at the same time must agree on the
+                // recorded resource: an execution satisfying two compatible
+                // columns dispatches the activation once, on one resource, so
+                // the first recorded provenance wins over the track-local
+                // choice of later schedules.
+                let resource = self
+                    .table
+                    .entries_on(job)
+                    .find(|(existing, time, recorded)| {
+                        *time == start && recorded.is_some() && existing.compatible(&column)
+                    })
+                    .and_then(|(_, _, recorded)| recorded)
+                    .or(pe);
+                self.table.set_on(job, column, start, resource);
+                resource
+            };
+            return Placement::Kept(resource);
         }
 
         // Theorem 2: one of the previously tabled activation times of this
-        // process avoids every conflict.
-        let mut candidates: Vec<Time> = conflicting.iter().map(|&(_, t)| t).collect();
-        candidates.sort_unstable();
-        candidates.dedup();
-        for candidate in candidates {
+        // process avoids every conflict. Moving to a tabled time also adopts
+        // the resource recorded for it — that is where the job proved to fit.
+        let mut candidates: Vec<(Time, Option<PeId>)> = conflicting;
+        candidates.sort_unstable_by_key(|&(t, _)| t);
+        candidates.dedup_by_key(|&mut (t, _)| t);
+        for (candidate, resource) in candidates {
             let moved_column = self.column_for(schedule, decided, pe, candidate);
             let still_conflicts = self
                 .table
@@ -393,18 +543,18 @@ impl Merger<'_> {
                 .any(|(_, t)| t != candidate);
             if !still_conflicts {
                 if self.table.get(job, &moved_column) != Some(candidate) {
-                    self.table.set(job, moved_column, candidate);
+                    self.table.set_on(job, moved_column, candidate, resource);
                 }
                 self.stats.conflicts_repaired += 1;
-                return Placement::Moved(candidate);
+                return Placement::Moved(candidate, resource);
             }
         }
 
         // Should not happen for well-formed inputs (Theorem 2); keep the
         // original time and record the requirement-2 violation.
         self.stats.unrepaired_conflicts += 1;
-        self.table.set(job, column, start);
-        Placement::Kept
+        self.table.set_on(job, column, start, pe);
+        Placement::Kept(pe)
     }
 
     /// Rule 2: the column of an activation at time `t` on processing element
@@ -598,6 +748,101 @@ mod tests {
         // delta_max = delta_M = 39 for its exact graph).
         let paper_policy = generate_schedule_table(system.cpg(), system.arch(), &base);
         assert!(paper_policy.is_zero_overhead());
+    }
+
+    /// Crafted system where an inherited lock *must* slip: `victim` runs
+    /// early on the longest path (tabled in the `true` column before the
+    /// condition resolves), but on the opposite branch it additionally
+    /// consumes the output of `slow`, which can only start after `!C` is
+    /// known — long after the tabled time. The merge has to feed the slipped
+    /// entry back through the repair loop: the final table may not keep the
+    /// stale early time.
+    fn slipping_system() -> (Architecture, Cpg) {
+        use cpg::CpgBuilder;
+        let arch = Architecture::builder()
+            .processor("cpu0")
+            .processor("cpu1")
+            .bus("bus")
+            .build()
+            .unwrap();
+        let cpu0 = arch.pe_by_name("cpu0").unwrap();
+        let cpu1 = arch.pe_by_name("cpu1").unwrap();
+        let mut b = CpgBuilder::new();
+        let c = b.condition("C");
+        let root = b.process("root", Time::new(10), cpu0);
+        let quick = b.process("quick", Time::new(1), cpu1);
+        let victim = b.process("victim", Time::new(2), cpu1);
+        let slow = b.process("slow", Time::new(3), cpu1);
+        let tail = b.process("tail", Time::new(20), cpu0);
+        b.simple_edge(quick, victim, Time::ZERO);
+        b.conditional_edge(root, slow, c.is_false(), Time::ZERO);
+        b.conditional_edge(root, tail, c.is_true(), Time::ZERO);
+        b.simple_edge(slow, victim, Time::ZERO);
+        // `victim` joins the two alternatives: it executes on every path and
+        // waits for `slow` only where `slow` runs.
+        b.mark_conjunction(victim);
+        let cpg = b.build(&arch).unwrap();
+        (arch, cpg)
+    }
+
+    #[test]
+    fn inherited_lock_that_must_slip_is_repaired_in_the_table() {
+        use cpg_path_sched::LockSet;
+        let (arch, cpg) = slipping_system();
+        let result = generate_schedule_table(&cpg, &arch, &MergeConfig::new(Time::new(2)));
+        let stats = result.stats();
+        assert!(
+            stats.slip_repairs > 0,
+            "the crafted lock never slipped: {stats:?}"
+        );
+        assert_eq!(
+            stats.lock_slips,
+            0,
+            "a slip survived repair: {stats:?}\n{}",
+            result.table().render(&cpg)
+        );
+
+        // The stale early activation is gone: on every path the tabled time
+        // of `victim` is at or after the moment its inputs can arrive on the
+        // slow branch.
+        let victim = Job::Process(cpg.process_by_name("victim").unwrap());
+        let slow = Job::Process(cpg.process_by_name("slow").unwrap());
+        let table = result.table();
+        table.verify(&cpg, result.tracks()).unwrap();
+        let not_c = result
+            .tracks()
+            .iter()
+            .find(|t| t.processes().contains(&slow.as_process().unwrap()))
+            .unwrap()
+            .label();
+        let victim_at = table.activation_on_track(victim, &not_c).unwrap();
+        let slow_at = table.activation_on_track(slow, &not_c).unwrap();
+        assert!(
+            victim_at >= slow_at + cpg.exec_time(slow.as_process().unwrap()),
+            "victim tabled at {victim_at} before slow completes"
+        );
+
+        // Replaying the final table through the per-track scheduler honours
+        // every activation time: the table is realizable end to end.
+        let scheduler = ListScheduler::new(&cpg, &arch, Time::new(2));
+        for track in result.tracks().iter() {
+            let assignment = Assignment::from_cube(&track.label());
+            let mut locks = LockSet::for_graph(&cpg);
+            for job in table.jobs() {
+                if let Some(time) = table.activation_time(job, &assignment) {
+                    let pe = table.activation_resource(job, &assignment);
+                    locks.insert_pinned(job, time, pe);
+                }
+            }
+            let ctx = scheduler.context(track);
+            let replay = ctx.reschedule(&ctx.schedule(), &locks);
+            assert!(
+                replay.slipped_locks().is_empty(),
+                "table not realizable on {}: {:?}",
+                track.label(),
+                replay.slipped_locks()
+            );
+        }
     }
 
     #[test]

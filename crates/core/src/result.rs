@@ -40,13 +40,21 @@ pub struct MergeStats {
     /// to a previously tabled activation time (0 for well-formed inputs; a
     /// non-zero value indicates a requirement-2 violation in the output).
     pub unrepaired_conflicts: usize,
-    /// Number of locked activation times the scheduler could not honour
-    /// during adjustments: the lock asked for a start the adjusted path's
-    /// data dependencies made impossible, so the job slipped later (see
-    /// [`cpg_path_sched::PathSchedule::slipped_locks`]). Rule 3 locks only
-    /// activation times fixed in ancestor-dependent columns, so this is 0
-    /// for well-formed inputs; a non-zero value means an adjusted schedule
-    /// diverged from the times already published in the table.
+    /// Number of slipped table entries fed back through the Theorem-2
+    /// re-placement loop during adjustments: a lock inherited from the table
+    /// asked for a start the adjusted path's data dependencies made
+    /// impossible (see [`cpg_path_sched::PathSchedule::slipped_locks`]), so
+    /// the stale intended time was dropped from the table and the entry was
+    /// re-placed at the start the schedule actually achieved.
+    pub slip_repairs: usize,
+    /// Number of tabled activation times the dispatcher cannot realize that
+    /// *survived* slip repair, measured by replaying the final table through
+    /// the per-track scheduler (every job locked at its applicable tabled
+    /// time on its recorded resource). Slips observed during adjustments are
+    /// repaired via [`MergeStats::slip_repairs`] rather than published as
+    /// stale intended times, so this is 0 unless a repair could not converge;
+    /// a non-zero value means the final table still contains activation
+    /// times no run-time scheduler can honour.
     pub lock_slips: usize,
 }
 

@@ -59,12 +59,25 @@ impl Csr {
     }
 }
 
+/// One locked activation: the fixed start time and, when the lock was derived
+/// from a schedule-table entry with resource provenance, the resource the job
+/// must occupy (the bus recorded when a broadcast's time was tabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Lock {
+    time: Time,
+    pe: Option<PeId>,
+}
+
 /// A set of locked activation times, dense over the job space of one graph
 /// (process slots first, then one broadcast slot per condition).
 ///
 /// Functionally a `HashMap<Job, Time>`, but cloning is a flat memcpy and
 /// lookups are array reads — the merge algorithm clones the set at every
 /// decision-tree node and the scheduler probes it for every job it commits.
+/// A lock may additionally *pin* the resource the job occupies (see
+/// [`LockSet::insert_pinned`]): locks inherited from the schedule table carry
+/// the bus recorded when the time was tabled, so a locked broadcast lands on
+/// that bus instead of a track-local guess.
 ///
 /// # Example
 ///
@@ -84,7 +97,7 @@ impl Csr {
 pub struct LockSet {
     /// Number of process slots (`cpg.len()`); broadcast slots follow.
     processes: usize,
-    slots: Vec<Option<Time>>,
+    slots: Vec<Option<Lock>>,
     len: usize,
 }
 
@@ -110,20 +123,39 @@ impl LockSet {
         }
     }
 
-    /// Locks `job` to start exactly at `time`; returns the previous lock.
+    /// Locks `job` to start exactly at `time` without pinning a resource;
+    /// returns the previous locked time.
     pub fn insert(&mut self, job: Job, time: Time) -> Option<Time> {
+        self.insert_pinned(job, time, None)
+    }
+
+    /// Locks `job` to start exactly at `time` on resource `pe` (the resource
+    /// recorded when the time was tabled; `None` leaves the resource to the
+    /// scheduler's track-local choice). Returns the previous locked time.
+    pub fn insert_pinned(&mut self, job: Job, time: Time, pe: Option<PeId>) -> Option<Time> {
         let slot = self.slot(job).expect("job belongs to a different graph");
-        let previous = self.slots[slot].replace(time);
+        let previous = self.slots[slot].replace(Lock { time, pe });
         if previous.is_none() {
             self.len += 1;
         }
-        previous
+        previous.map(|lock| lock.time)
     }
 
     /// The locked activation time of `job`, if any.
     #[must_use]
     pub fn get(&self, job: Job) -> Option<Time> {
-        self.slot(job).and_then(|slot| self.slots[slot])
+        self.slot(job)
+            .and_then(|slot| self.slots[slot])
+            .map(|lock| lock.time)
+    }
+
+    /// The resource the lock of `job` pins it to, when the lock exists and
+    /// carries provenance.
+    #[must_use]
+    pub fn pinned_pe(&self, job: Job) -> Option<PeId> {
+        self.slot(job)
+            .and_then(|slot| self.slots[slot])
+            .and_then(|lock| lock.pe)
     }
 
     /// `true` when `job` is locked.
@@ -146,13 +178,19 @@ impl LockSet {
 
     /// Iterates over the locked jobs and their activation times.
     pub fn iter(&self) -> impl Iterator<Item = (Job, Time)> + '_ {
-        self.slots.iter().enumerate().filter_map(|(slot, time)| {
+        self.iter_pinned().map(|(job, time, _)| (job, time))
+    }
+
+    /// Iterates over the locked jobs with their activation times and pinned
+    /// resources.
+    pub fn iter_pinned(&self) -> impl Iterator<Item = (Job, Time, Option<PeId>)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(slot, lock)| {
             let job = if slot < self.processes {
                 Job::Process(ProcessId::from_index(slot))
             } else {
                 Job::Broadcast(CondId::new(slot - self.processes))
             };
-            time.map(|t| (job, t))
+            lock.map(|lock| (job, lock.time, lock.pe))
         })
     }
 }
@@ -426,9 +464,11 @@ impl<'a> TrackContext<'a> {
     /// schedule table (the *adjustment* step of the merge algorithm).
     ///
     /// Locked jobs keep exactly their fixed start time — and, for condition
-    /// broadcasts, the bus `original` assigned to them; every other job moves
-    /// to the earliest moment allowed by data dependencies and resource
-    /// availability, preserving the relative activation order of `original`.
+    /// broadcasts, the bus the lock pins (recorded in the schedule table when
+    /// the time was tabled) or, for unpinned locks, the bus `original`
+    /// assigned to them; every other job moves to the earliest moment allowed
+    /// by data dependencies and resource availability, preserving the
+    /// relative activation order of `original`.
     /// Locks that cannot be honoured are reported through
     /// [`PathSchedule::slipped_locks`]. Locks for jobs that are not part of
     /// this track are ignored: processes of other alternative paths never
@@ -454,16 +494,17 @@ impl<'a> TrackContext<'a> {
         &self.guard_conds[self.guard_offsets[i] as usize..self.guard_offsets[i + 1] as usize]
     }
 
-    /// The resource a *locked* job occupies: its mapping for processes, the
-    /// bus assigned by the original schedule for broadcasts (falling back to
-    /// the first broadcast bus when the original never placed it).
-    fn locked_pe(&self, dense: usize, original: &PathSchedule) -> Option<PeId> {
+    /// The resource a *locked* job occupies: its mapping for processes; for
+    /// broadcasts the bus the lock pins (recorded when the activation time
+    /// was tabled, possibly by another path's adjusted schedule), then the
+    /// bus assigned by the original schedule, then the first broadcast bus.
+    fn locked_pe(&self, dense: usize, locks: &LockSet, original: &PathSchedule) -> Option<PeId> {
         let job = self.jobs[dense];
         match job {
             Job::Process(_) => self.mapped_pe[dense],
-            Job::Broadcast(_) => original
-                .entry(job)
-                .and_then(ScheduledJob::pe)
+            Job::Broadcast(_) => locks
+                .pinned_pe(job)
+                .or_else(|| original.entry(job).and_then(ScheduledJob::pe))
                 .or_else(|| self.broadcast_buses.first().copied()),
         }
     }
@@ -538,7 +579,7 @@ impl<'a> TrackContext<'a> {
         if let Some((locks, original)) = locking {
             for dense in 0..n {
                 if let Some(start) = locks.get(self.jobs[dense]) {
-                    if let Some(pe) = self.locked_pe(dense, original) {
+                    if let Some(pe) = self.locked_pe(dense, locks, original) {
                         if self.arch.is_exclusive(pe) {
                             calendars[pe.index()].reserve(start, self.durations[dense]);
                         }
@@ -599,7 +640,8 @@ impl<'a> TrackContext<'a> {
                 // always signals a violated caller invariant, which is
                 // exactly why it is surfaced instead of silently absorbed.)
                 let start = lock.max(data_ready);
-                let pe = self.locked_pe(dense, locking.expect("locking is Some").1);
+                let (locks, original) = locking.expect("locking is Some");
+                let pe = self.locked_pe(dense, locks, original);
                 if start != lock {
                     slipped.push(SlippedLock {
                         job,
@@ -661,7 +703,15 @@ impl<'a> TrackContext<'a> {
             .map(|&(dense, cond)| (cond, ends[dense as usize]))
             .collect();
         resolutions.sort_unstable_by_key(|&(cond, time)| (time, cond));
-        PathSchedule::new_detailed(self.label, scheduled, delay, resolutions, slipped)
+        PathSchedule::new_detailed(
+            self.label,
+            scheduled,
+            delay,
+            resolutions,
+            slipped,
+            self.cpg.len(),
+            self.cpg.num_conditions(),
+        )
     }
 
     /// The dense index of a job on this track, if the job is part of it.

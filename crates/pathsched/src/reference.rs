@@ -9,10 +9,11 @@
 //!
 //! Semantically it implements exactly the same (fixed) lock handling as the
 //! production [`TrackContext`](crate::TrackContext) core — locked broadcasts
-//! keep the bus assigned by the original schedule, locked intervals are
-//! reserved on the correct resource, and slipped locks are recorded — so any
-//! divergence between the two implementations flags a defect in the indexed
-//! data structures, not an intentional behaviour change.
+//! keep the bus their lock pins (table provenance) or the bus assigned by the
+//! original schedule, locked intervals are reserved on the correct resource,
+//! and slipped locks are recorded — so any divergence between the two
+//! implementations flags a defect in the indexed data structures, not an
+//! intentional behaviour change.
 
 use std::collections::HashMap;
 
@@ -22,6 +23,11 @@ use cpg_arch::{Architecture, PeId, Time};
 use crate::calendar::Calendar;
 use crate::job::{Job, ScheduledJob};
 use crate::schedule::{PathSchedule, SlippedLock};
+
+/// A locked activation time and, when the lock carries table provenance, the
+/// resource it pins the job to — the map-based mirror of
+/// [`LockSet`](crate::LockSet) entries.
+pub type LockedStart = (Time, Option<PeId>);
 
 /// Schedules one alternative path with the partial-critical-path priority,
 /// rescanning the remaining jobs at every commit.
@@ -45,7 +51,8 @@ pub fn schedule_track(
 }
 
 /// Re-schedules a path around the locked activation times, preserving the
-/// relative order (and, for broadcasts, the bus) of `original`.
+/// relative order (and, for broadcasts, the pinned or original bus) of
+/// `original`.
 #[must_use]
 pub fn reschedule(
     cpg: &Cpg,
@@ -53,7 +60,7 @@ pub fn reschedule(
     broadcast_time: Time,
     track: &Track,
     original: &PathSchedule,
-    locks: &HashMap<Job, Time>,
+    locks: &HashMap<Job, LockedStart>,
 ) -> PathSchedule {
     // Priority: earlier original start  =>  scheduled earlier.
     let priorities: HashMap<Job, u64> = original
@@ -102,19 +109,24 @@ fn critical_path_priorities(cpg: &Cpg, track: &Track) -> HashMap<Job, u64> {
     priorities
 }
 
-/// The resource a locked job occupies: the mapping for processes, the bus
-/// assigned by the original schedule for broadcasts.
+/// The resource a locked job occupies: the mapping for processes; for
+/// broadcasts the bus the lock pins, then the bus assigned by the original
+/// schedule, then the first broadcast bus.
 fn locked_pe(
     cpg: &Cpg,
     broadcast_buses: &[PeId],
     original: Option<&PathSchedule>,
     job: Job,
+    pinned: Option<PeId>,
 ) -> Option<PeId> {
     match job {
         Job::Process(pid) => cpg.mapping(pid),
-        Job::Broadcast(_) => original
-            .and_then(|o| o.entry(job))
-            .and_then(ScheduledJob::pe)
+        Job::Broadcast(_) => pinned
+            .or_else(|| {
+                original
+                    .and_then(|o| o.entry(job))
+                    .and_then(ScheduledJob::pe)
+            })
             .or_else(|| broadcast_buses.first().copied()),
     }
 }
@@ -128,7 +140,7 @@ fn run(
     broadcast_time: Time,
     track: &Track,
     priorities: &HashMap<Job, u64>,
-    locks: &HashMap<Job, Time>,
+    locks: &HashMap<Job, LockedStart>,
     original: Option<&PathSchedule>,
 ) -> PathSchedule {
     let needs_broadcast =
@@ -190,11 +202,11 @@ fn run(
     // execute on this one, so their tabled times must not occupy resources
     // here.
     let mut calendars: HashMap<PeId, Calendar> = HashMap::new();
-    for (&job, &start) in locks {
+    for (&job, &(start, pinned)) in locks {
         if !jobs.contains(&job) {
             continue;
         }
-        if let Some(pe) = locked_pe(cpg, &broadcast_buses, original, job) {
+        if let Some(pe) = locked_pe(cpg, &broadcast_buses, original, job, pinned) {
             if arch.is_exclusive(pe) {
                 calendars
                     .entry(pe)
@@ -245,12 +257,12 @@ fn run(
             }
         }
         let duration = duration_of(job);
-        let entry = if let Some(&lock) = locks.get(&job) {
+        let entry = if let Some(&(lock, pinned)) = locks.get(&job) {
             // Locked jobs keep the activation time fixed in the table; a
             // pushed lock slips, is recorded, and its real interval is
             // reserved.
             let start = lock.max(data_ready);
-            let pe = locked_pe(cpg, &broadcast_buses, original, job);
+            let pe = locked_pe(cpg, &broadcast_buses, original, job, pinned);
             if start != lock {
                 slipped.push(SlippedLock {
                     job,
@@ -328,6 +340,8 @@ fn run(
         delay,
         resolutions,
         slipped,
+        cpg.len(),
+        cpg.num_conditions(),
     )
 }
 
@@ -382,8 +396,12 @@ mod tests {
                     .filter(|(i, _)| i % 2 == 0)
                     .map(|(_, sj)| (sj.job(), sj.start()))
                     .collect();
+                let pinned: HashMap<Job, LockedStart> = locks
+                    .iter()
+                    .map(|(&job, &time)| (job, (time, None)))
+                    .collect();
                 let fast_adj = scheduler.reschedule(track, &fast, &locks);
-                let slow_adj = reschedule(cpg, arch, tau0, track, &slow, &locks);
+                let slow_adj = reschedule(cpg, arch, tau0, track, &slow, &pinned);
                 assert_eq!(fast_adj, slow_adj, "reschedule divergence");
             }
         }

@@ -8,6 +8,9 @@ use cpg_arch::{Architecture, PeId, Time};
 
 use crate::job::{Job, ScheduledJob};
 
+/// Sentinel for "job not scheduled on this path" in the dense job-slot index.
+const ABSENT: u32 = u32::MAX;
+
 /// A lock that could not be honoured by the scheduler: the job was asked to
 /// start exactly at `intended` (its activation time fixed in the schedule
 /// table), but its data dependencies or guard conditions were only satisfied
@@ -62,11 +65,18 @@ impl fmt::Display for SlippedLock {
 ///
 /// Produced by [`ListScheduler`](crate::ListScheduler); consumed by the
 /// schedule-merging algorithm of the `cpg-merge` crate.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct PathSchedule {
     label: Cube,
     jobs: Vec<ScheduledJob>,
-    index: HashMap<Job, usize>,
+    /// Number of process slots of the graph-wide job-slot space; broadcast
+    /// slots follow (the same dense layout as `TrackContext`/`LockSet`).
+    processes: usize,
+    /// Graph-wide job slot -> position in `jobs`, [`ABSENT`] when the job is
+    /// not scheduled on this path. The merge algorithm's
+    /// `known_conditions`/`condition_known_at` queries resolve through this
+    /// index on their hot path, so it is a dense array rather than a map.
+    index: Vec<u32>,
     delay: Time,
     /// Condition resolutions `(cond, completion of its disjunction process)`
     /// cached by the scheduler, sorted by `(time, cond)`.
@@ -81,7 +91,29 @@ pub struct PathSchedule {
 impl PathSchedule {
     #[cfg(test)]
     pub(crate) fn new(label: Cube, jobs: Vec<ScheduledJob>, delay: Time) -> Self {
-        Self::new_detailed(label, jobs, delay, Vec::new(), Vec::new())
+        // Tests build schedules without a graph: size the slot space from the
+        // largest identifiers present.
+        let processes = jobs
+            .iter()
+            .filter_map(|j| j.job().as_process())
+            .map(|p| p.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let conditions = jobs
+            .iter()
+            .filter_map(|j| j.job().as_broadcast())
+            .map(|c| c.index() + 1)
+            .max()
+            .unwrap_or(0);
+        Self::new_detailed(
+            label,
+            jobs,
+            delay,
+            Vec::new(),
+            Vec::new(),
+            processes,
+            conditions,
+        )
     }
 
     pub(crate) fn new_detailed(
@@ -90,12 +122,22 @@ impl PathSchedule {
         delay: Time,
         resolutions: Vec<(CondId, Time)>,
         slipped: Vec<SlippedLock>,
+        processes: usize,
+        conditions: usize,
     ) -> Self {
         jobs.sort_by_key(|j| (j.start(), j.end(), j.job()));
-        let index = jobs.iter().enumerate().map(|(i, j)| (j.job(), i)).collect();
+        let mut index = vec![ABSENT; processes + conditions];
+        for (position, sj) in jobs.iter().enumerate() {
+            let slot = match sj.job() {
+                Job::Process(pid) => pid.index(),
+                Job::Broadcast(cond) => processes + cond.index(),
+            };
+            index[slot] = position as u32;
+        }
         PathSchedule {
             label,
             jobs,
+            processes,
             index,
             delay,
             resolutions,
@@ -137,7 +179,15 @@ impl PathSchedule {
     /// The scheduled entry of a job, if the job is part of this path.
     #[must_use]
     pub fn entry(&self, job: Job) -> Option<&ScheduledJob> {
-        self.index.get(&job).map(|&i| &self.jobs[i])
+        let slot = match job {
+            Job::Process(pid) if pid.index() < self.processes => pid.index(),
+            Job::Broadcast(cond) if self.processes + cond.index() < self.index.len() => {
+                self.processes + cond.index()
+            }
+            _ => return None,
+        };
+        let position = self.index[slot];
+        (position != ABSENT).then(|| &self.jobs[position as usize])
     }
 
     /// The start time of a job, if the job is part of this path.
@@ -155,7 +205,7 @@ impl PathSchedule {
     /// `true` when the job is scheduled on this path.
     #[must_use]
     pub fn contains(&self, job: Job) -> bool {
-        self.index.contains_key(&job)
+        self.entry(job).is_some()
     }
 
     /// The start times of all jobs as a map (useful for locking decisions in
@@ -344,6 +394,20 @@ impl PathSchedule {
             .collect()
     }
 }
+
+// The dense index is derived from `jobs` (its layout additionally depends on
+// the slot-space size), so equality compares the observable schedule only.
+impl PartialEq for PathSchedule {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label
+            && self.jobs == other.jobs
+            && self.delay == other.delay
+            && self.resolutions == other.resolutions
+            && self.slipped == other.slipped
+    }
+}
+
+impl Eq for PathSchedule {}
 
 impl fmt::Display for PathSchedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -456,6 +456,78 @@ mod tests {
     }
 
     #[test]
+    fn pinned_locks_override_the_tracks_own_bus_choice() {
+        // Regression test for the wrong-bus inherited lock: a lock derived
+        // from the schedule table carries the bus recorded when the time was
+        // tabled — possibly by a *different* path's adjusted schedule — and
+        // that bus can differ from the bus this track's own optimal schedule
+        // would pick. Before table-side lock provenance existed, `reschedule`
+        // fell back to the track-local bus, so a broadcast tabled on a
+        // non-first bus migrated and could collide with the job legitimately
+        // occupying its track-local bus at that time.
+        use crate::context::LockSet;
+        use cpg::CpgBuilder;
+        let arch = Architecture::builder()
+            .processor("cpu0")
+            .processor("cpu1")
+            .bus("bus0")
+            .bus("bus1")
+            .build()
+            .unwrap();
+        let cpu0 = arch.pe_by_name("cpu0").unwrap();
+        let cpu1 = arch.pe_by_name("cpu1").unwrap();
+        let bus0 = arch.pe_by_name("bus0").unwrap();
+        let bus1 = arch.pe_by_name("bus1").unwrap();
+        let mut b = CpgBuilder::new();
+        let c = b.condition("C");
+        let d = b.condition("D");
+        let r1 = b.process("r1", Time::new(2), cpu0);
+        let r2 = b.process("r2", Time::new(2), cpu1);
+        let a1 = b.process("a1", Time::new(2), cpu0);
+        let a2 = b.process("a2", Time::new(2), cpu0);
+        let b1 = b.process("b1", Time::new(2), cpu1);
+        let b2 = b.process("b2", Time::new(2), cpu1);
+        b.conditional_edge(r1, a1, c.is_true(), Time::ZERO);
+        b.conditional_edge(r1, a2, c.is_false(), Time::ZERO);
+        b.conditional_edge(r2, b1, d.is_true(), Time::ZERO);
+        b.conditional_edge(r2, b2, d.is_false(), Time::ZERO);
+        let cpg = b.build(&arch).unwrap();
+        let tracks = enumerate_tracks(&cpg);
+        let scheduler = ListScheduler::new(&cpg, &arch, Time::new(3));
+
+        // Both disjunction processes finish at t=2, so the track's own
+        // optimal schedule spreads the two broadcasts over the two buses:
+        // C on bus0, D on bus1 (first-fit tie-break).
+        let track = &tracks.tracks()[0];
+        let ctx = scheduler.context(track);
+        let original = ctx.schedule();
+        let bc = Job::Broadcast(c);
+        let bd = Job::Broadcast(d);
+        assert_eq!(original.entry(bc).unwrap().pe(), Some(bus0));
+        assert_eq!(original.entry(bd).unwrap().pe(), Some(bus1));
+        let start_c = original.start(bc).unwrap();
+        let start_d = original.start(bd).unwrap();
+
+        // The table (filled by another path's adjusted schedule) recorded
+        // the *swapped* assignment. The pinned locks must win over the
+        // track-local optimum, and the swap must not create an overlap.
+        let mut locks = LockSet::for_graph(&cpg);
+        locks.insert_pinned(bc, start_c, Some(bus1));
+        locks.insert_pinned(bd, start_d, Some(bus0));
+        let adjusted = ctx.reschedule(&original, &locks);
+        assert_eq!(
+            adjusted.entry(bc).unwrap().pe(),
+            Some(bus1),
+            "locked broadcast ignored its recorded bus"
+        );
+        assert_eq!(adjusted.entry(bd).unwrap().pe(), Some(bus0));
+        assert_eq!(adjusted.start(bc), Some(start_c));
+        assert_eq!(adjusted.start(bd), Some(start_d));
+        assert!(adjusted.slipped_locks().is_empty());
+        adjusted.verify(&cpg, &arch).unwrap();
+    }
+
+    #[test]
     fn slipped_locks_are_reported_and_keep_the_calendar_consistent() {
         let system = examples::diamond();
         let cpg = system.cpg();

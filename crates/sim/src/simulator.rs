@@ -107,7 +107,9 @@ impl<'a> Simulator<'a> {
         // Requirement 4: the column that selected each activation only uses
         // locally known condition values.
         for &(job, start, _) in &activations {
-            let Some(pe) = self.pe_of(job) else { continue };
+            let Some(pe) = self.pe_of(job, &assignment) else {
+                continue;
+            };
             let column = self.selecting_column(job, &assignment);
             for lit in column.literals() {
                 let known_at = known.get(&(lit.cond(), pe)).copied();
@@ -163,7 +165,8 @@ impl<'a> Simulator<'a> {
         // Exclusive resources execute one job at a time.
         for (i, &(a, a_start, a_end)) in activations.iter().enumerate() {
             for &(b, b_start, b_end) in activations.iter().skip(i + 1) {
-                let (Some(pa), Some(pb)) = (self.pe_of(a), self.pe_of(b)) else {
+                let (Some(pa), Some(pb)) = (self.pe_of(a, &assignment), self.pe_of(b, &assignment))
+                else {
                     continue;
                 };
                 if pa != pb || !self.arch.is_exclusive(pa) {
@@ -220,10 +223,17 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    fn pe_of(&self, job: Job) -> Option<PeId> {
+    /// The resource an activation occupies in this scenario: the mapping for
+    /// processes; for broadcasts the bus recorded with the applicable table
+    /// entry (the bus the generating schedule actually used), falling back to
+    /// the first broadcast bus for tables without provenance.
+    fn pe_of(&self, job: Job, assignment: &Assignment) -> Option<PeId> {
         match job {
             Job::Process(pid) => self.cpg.mapping(pid),
-            Job::Broadcast(_) => self.arch.broadcast_buses().next(),
+            Job::Broadcast(_) => self
+                .table
+                .activation_resource(job, assignment)
+                .or_else(|| self.arch.broadcast_buses().next()),
         }
     }
 

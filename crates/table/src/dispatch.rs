@@ -126,10 +126,12 @@ impl DispatchTable {
 /// Splits a schedule table into one dispatch table per processing element.
 ///
 /// Process rows go to the processing element the process is mapped to;
-/// condition-broadcast rows go to the first broadcast-capable bus (the bus
-/// scheduler issues them). Every entry of the schedule table appears in
-/// exactly one dispatch table; processing elements with no work get an empty
-/// dispatch table so that code can be emitted for every resource uniformly.
+/// condition-broadcast entries go to the bus recorded with the entry when its
+/// time was tabled (the bus the generating schedule actually occupied),
+/// falling back to the first broadcast-capable bus for tables without
+/// provenance. Every entry of the schedule table appears in exactly one
+/// dispatch table; processing elements with no work get an empty dispatch
+/// table so that code can be emitted for every resource uniformly.
 #[must_use]
 pub fn per_processor_dispatch(
     table: &ScheduleTable,
@@ -144,10 +146,10 @@ pub fn per_processor_dispatch(
             entries: Vec::new(),
         })
         .collect();
-    for (job, column, start) in table.all_entries() {
+    for (job, column, start, resource) in table.all_entries_on() {
         let pe = match job {
             Job::Process(pid) => cpg.mapping(pid),
-            Job::Broadcast(_) => broadcast_bus,
+            Job::Broadcast(_) => resource.or(broadcast_bus),
         };
         let Some(pe) = pe else { continue };
         dispatch[pe.index()]

@@ -4,10 +4,24 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use cpg::{Assignment, Cpg, Cube, TrackSet};
-use cpg_arch::Time;
+use cpg_arch::{PeId, Time};
 use cpg_path_sched::Job;
 
 use crate::error::TableViolation;
+
+/// One cell of the table: the activation time of a job under a column
+/// expression, together with the resource the job occupied in the schedule
+/// that tabled the time (its *provenance*).
+///
+/// The resource matters for condition broadcasts: their bus is chosen at
+/// scheduling time, so a later adjustment that inherits the tabled activation
+/// time as a lock must pin the broadcast to the bus recorded here rather than
+/// re-deriving a track-local guess.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Cell {
+    time: Time,
+    resource: Option<PeId>,
+}
 
 /// The schedule table: one row per process (and per condition broadcast), one
 /// column per conjunction of condition values, and in each cell the activation
@@ -39,7 +53,7 @@ use crate::error::TableViolation;
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ScheduleTable {
     columns: Vec<Cube>,
-    rows: BTreeMap<Job, BTreeMap<usize, Time>>,
+    rows: BTreeMap<Job, BTreeMap<usize, Cell>>,
 }
 
 impl ScheduleTable {
@@ -85,11 +99,34 @@ impl ScheduleTable {
     }
 
     /// Records the activation time of `job` in the column headed by `column`,
-    /// creating the column when it does not exist yet. Returns the previously
-    /// stored time for that cell, if any.
+    /// creating the column when it does not exist yet, without resource
+    /// provenance. Returns the previously stored time for that cell, if any.
+    ///
+    /// Tables consumed by the merge/dispatch pipeline should prefer
+    /// [`ScheduleTable::set_on`], which records the resource the job occupied
+    /// when the time was tabled.
     pub fn set(&mut self, job: Job, column: Cube, time: Time) -> Option<Time> {
+        self.set_on(job, column, time, None)
+    }
+
+    /// Records the activation time of `job` in the column headed by `column`
+    /// together with the resource the job occupied in the schedule that
+    /// produced the time (`None` for dummy jobs, which consume no resource).
+    /// Creates the column when it does not exist yet and returns the
+    /// previously stored time for that cell, if any.
+    pub fn set_on(
+        &mut self,
+        job: Job,
+        column: Cube,
+        time: Time,
+        resource: Option<PeId>,
+    ) -> Option<Time> {
         let index = self.column_index_or_insert(column);
-        self.rows.entry(job).or_default().insert(index, time)
+        self.rows
+            .entry(job)
+            .or_default()
+            .insert(index, Cell { time, resource })
+            .map(|cell| cell.time)
     }
 
     /// Removes the activation time of `job` in the column headed by `column`,
@@ -101,28 +138,55 @@ impl ScheduleTable {
         if times.is_empty() {
             self.rows.remove(&job);
         }
-        removed
+        removed.map(|cell| cell.time)
     }
 
     /// The activation time of `job` in the column headed exactly by `column`.
     #[must_use]
     pub fn get(&self, job: Job, column: &Cube) -> Option<Time> {
         let index = self.column_index(column)?;
-        self.rows.get(&job)?.get(&index).copied()
+        self.rows.get(&job)?.get(&index).map(|cell| cell.time)
+    }
+
+    /// The resource recorded for `job` in the column headed exactly by
+    /// `column`, when the cell exists and carries provenance.
+    #[must_use]
+    pub fn resource(&self, job: Job, column: &Cube) -> Option<PeId> {
+        let index = self.column_index(column)?;
+        self.rows
+            .get(&job)?
+            .get(&index)
+            .and_then(|cell| cell.resource)
     }
 
     /// Iterates over the `(column, activation time)` entries of a row.
     pub fn entries(&self, job: Job) -> impl Iterator<Item = (Cube, Time)> + '_ {
-        self.rows
-            .get(&job)
-            .into_iter()
-            .flat_map(move |times| times.iter().map(|(&i, &t)| (self.columns[i], t)))
+        self.entries_on(job).map(|(column, time, _)| (column, time))
+    }
+
+    /// Iterates over the `(column, activation time, recorded resource)`
+    /// entries of a row.
+    pub fn entries_on(&self, job: Job) -> impl Iterator<Item = (Cube, Time, Option<PeId>)> + '_ {
+        self.rows.get(&job).into_iter().flat_map(move |times| {
+            times
+                .iter()
+                .map(|(&i, cell)| (self.columns[i], cell.time, cell.resource))
+        })
     }
 
     /// Iterates over every `(job, column, time)` entry of the table.
     pub fn all_entries(&self) -> impl Iterator<Item = (Job, Cube, Time)> + '_ {
+        self.all_entries_on()
+            .map(|(job, column, time, _)| (job, column, time))
+    }
+
+    /// Iterates over every `(job, column, time, recorded resource)` entry of
+    /// the table.
+    pub fn all_entries_on(&self) -> impl Iterator<Item = (Job, Cube, Time, Option<PeId>)> + '_ {
         self.rows.iter().flat_map(move |(&job, times)| {
-            times.iter().map(move |(&i, &t)| (job, self.columns[i], t))
+            times
+                .iter()
+                .map(move |(&i, cell)| (job, self.columns[i], cell.time, cell.resource))
         })
     }
 
@@ -165,6 +229,30 @@ impl ScheduleTable {
             }
         }
         found
+    }
+
+    /// The resource recorded for the activation of `job` applicable during an
+    /// execution described by a complete condition assignment: the provenance
+    /// of the most specific satisfied column that carries one.
+    ///
+    /// This is the bus a locked condition broadcast must occupy when the
+    /// tabled time is enforced on another path's schedule, and the resource
+    /// the dispatcher/simulator charge the activation to.
+    #[must_use]
+    pub fn activation_resource(&self, job: Job, assignment: &Assignment) -> Option<PeId> {
+        let mut best: Option<(usize, PeId)> = None;
+        for (column, _, resource) in self.entries_on(job) {
+            if !column.satisfied_by(assignment) {
+                continue;
+            }
+            if let Some(pe) = resource {
+                let specificity = column.len();
+                if best.is_none_or(|(len, _)| specificity > len) {
+                    best = Some((specificity, pe));
+                }
+            }
+        }
+        best.map(|(_, pe)| pe)
     }
 
     /// The activation time applicable on the alternative path labelled
@@ -331,7 +419,7 @@ impl ScheduleTable {
                     .rows
                     .get(&job)
                     .and_then(|times| times.get(&index))
-                    .map_or(String::new(), |t| t.to_string());
+                    .map_or(String::new(), |cell| cell.time.to_string());
                 row.push(cell);
             }
             table_rows.push(row);
@@ -430,6 +518,31 @@ mod tests {
         assert!(table.contains_job(p(1)));
         assert!(!table.contains_job(p(9)));
         assert!(table.to_string().contains("3 entries"));
+    }
+
+    #[test]
+    fn cells_carry_resource_provenance() {
+        use cpg_arch::PeId;
+        let mut table = ScheduleTable::new();
+        let bus1 = PeId::from_index(3);
+        let b = Job::Broadcast(c(0));
+        let col = Cube::from(c(1).is_true());
+        assert_eq!(table.set_on(b, col, Time::new(4), Some(bus1)), None);
+        assert_eq!(table.get(b, &col), Some(Time::new(4)));
+        assert_eq!(table.resource(b, &col), Some(bus1));
+        // `set` records no provenance.
+        table.set(b, Cube::from(c(1).is_false()), Time::new(9));
+        assert_eq!(table.resource(b, &Cube::from(c(1).is_false())), None);
+        let on: Vec<_> = table.entries_on(b).collect();
+        assert_eq!(on.len(), 2);
+        assert!(on.contains(&(col, Time::new(4), Some(bus1))));
+        assert_eq!(table.all_entries_on().count(), 2);
+        // The applicable resource follows the satisfied column.
+        let mut asg = Assignment::new();
+        asg.assign(c(1), true);
+        assert_eq!(table.activation_resource(b, &asg), Some(bus1));
+        asg.assign(c(1), false);
+        assert_eq!(table.activation_resource(b, &asg), None);
     }
 
     #[test]

@@ -6,10 +6,16 @@
 //! `HashMap`-keyed scheduler state with dense indexed structures and a
 //! binary-heap ready queue. The two implementations must be *observably
 //! identical*: for every alternative path of arbitrary generated systems,
-//! both `schedule_track` and `reschedule` (under random lock sets) must
-//! produce the same `(start, end, resource)` assignment for every job, the
-//! same path delay, the same cached condition resolutions and the same
-//! slipped-lock reports.
+//! both `schedule_track` and `reschedule` (under random lock sets, including
+//! locks that pin a broadcast to a specific bus) must produce the same
+//! `(start, end, resource)` assignment for every job, the same path delay,
+//! the same cached condition resolutions and the same slipped-lock reports.
+//!
+//! On top of the per-call equivalence, the merge-level property test replays
+//! every generated schedule table through the reference oracle: each tabled
+//! activation time, locked on its recorded resource, must be realizable —
+//! any slip surviving in the final table must be exactly what
+//! `MergeStats::lock_slips` reported.
 
 use std::collections::HashMap;
 
@@ -113,33 +119,125 @@ proptest! {
             // Random lock set: a pseudo-random subset of the jobs, locked at
             // their original start shifted by a small offset — this exercises
             // honoured locks, slipped locks and locked broadcasts alike.
+            // Every other locked broadcast is additionally *pinned* to a
+            // rotating broadcast bus, the provenance a lock inherited from
+            // the schedule table carries.
+            let buses: Vec<PeId> = arch.broadcast_buses().collect();
             let mut dense_locks = LockSet::for_graph(cpg);
-            let mut map_locks: HashMap<Job, Time> = HashMap::new();
+            let mut map_locks: HashMap<Job, (Time, Option<PeId>)> = HashMap::new();
             for (i, sj) in original.jobs().iter().enumerate() {
                 if lock_mask & (1 << (i % 64)) == 0 {
                     continue;
                 }
                 let time = sj.start() + Time::new(offset * (i as u64 % 3));
-                dense_locks.insert(sj.job(), time);
-                map_locks.insert(sj.job(), time);
+                let pinned = match sj.job() {
+                    Job::Broadcast(_) if i % 2 == 0 && !buses.is_empty() => {
+                        Some(buses[i % buses.len()])
+                    }
+                    _ => None,
+                };
+                dense_locks.insert_pinned(sj.job(), time, pinned);
+                map_locks.insert(sj.job(), (time, pinned));
             }
             // Locks for jobs of *other* paths must be ignored identically by
             // both implementations.
             for pid in cpg.schedulable_processes().filter(|&p| !track.contains(p)).take(3) {
                 let job = Job::Process(pid);
                 dense_locks.insert(job, Time::new(offset));
-                map_locks.insert(job, Time::new(offset));
+                map_locks.insert(job, (Time::new(offset), None));
             }
 
             let fast = ctx.reschedule(&original, &dense_locks);
             let slow = reference::reschedule(cpg, arch, tau0, track, &original, &map_locks);
             assert_identical(&fast, &slow)?;
 
+            // Honoured pinned broadcast locks occupy exactly the pinned bus.
+            for (job, time, pinned) in dense_locks.iter_pinned() {
+                let (Some(bus), Some(entry)) = (pinned, fast.entry(job)) else {
+                    continue;
+                };
+                if entry.start() == time {
+                    prop_assert!(
+                        entry.pe() == Some(bus),
+                        "pinned broadcast {} migrated off its bus to {:?}",
+                        job,
+                        entry.pe()
+                    );
+                }
+            }
+
             // The dense lock set agrees with the map it mirrors.
             prop_assert_eq!(dense_locks.len(), map_locks.len());
-            for (job, time) in dense_locks.iter() {
-                prop_assert_eq!(map_locks.get(&job).copied(), Some(time));
+            for (job, time, pinned) in dense_locks.iter_pinned() {
+                prop_assert_eq!(map_locks.get(&job).copied(), Some((time, pinned)));
+                prop_assert_eq!(dense_locks.pinned_pe(job), pinned);
             }
         }
+    }
+
+    /// The post-merge invariant of the slip-correcting pipeline: replaying
+    /// the final schedule table through the naive reference oracle — every
+    /// job locked at its applicable tabled time, pinned to the resource
+    /// recorded when the time was tabled — must reproduce exactly the
+    /// surviving-slip count the merge reported, and every honoured broadcast
+    /// lock must occupy its recorded bus. A slip here that the merge did not
+    /// count would be an activation time the dispatcher silently cannot
+    /// realize.
+    #[test]
+    fn merged_tables_are_realizable_or_surviving_slips_are_counted(
+        config in config_strategy(),
+    ) {
+        let system = generate(&config);
+        let cpg = system.cpg();
+        let arch = system.arch();
+        let tau0 = system.broadcast_time();
+        let result = generate_schedule_table(cpg, arch, &MergeConfig::new(tau0));
+        let table = result.table();
+
+        let mut replayed_slips = 0usize;
+        for track in result.tracks().iter() {
+            let assignment = Assignment::from_cube(&track.label());
+            let mut locks: HashMap<Job, (Time, Option<PeId>)> = HashMap::new();
+            let jobs = track
+                .processes()
+                .iter()
+                .filter(|&&p| !cpg.process(p).kind().is_dummy())
+                .map(|&p| Job::Process(p))
+                .chain(track.determined_conditions().map(Job::Broadcast));
+            for job in jobs {
+                if let Some(time) = table.activation_time(job, &assignment) {
+                    let resource = table.activation_resource(job, &assignment);
+                    locks.insert(job, (time, resource));
+                }
+            }
+            let original = reference::schedule_track(cpg, arch, tau0, track);
+            let replay = reference::reschedule(cpg, arch, tau0, track, &original, &locks);
+            replayed_slips += replay.slipped_locks().len();
+
+            // Honoured broadcast locks sit on the bus recorded at tabling
+            // time — the tabled (time, bus) pair is what the run-time bus
+            // scheduler executes.
+            for (&job, &(time, resource)) in &locks {
+                let (Job::Broadcast(_), Some(bus)) = (job, resource) else {
+                    continue;
+                };
+                let Some(entry) = replay.entry(job) else { continue };
+                if entry.start() == time {
+                    prop_assert!(
+                        entry.pe() == Some(bus),
+                        "broadcast {} not on its recorded bus on {}",
+                        job,
+                        track.label()
+                    );
+                }
+            }
+        }
+        prop_assert!(
+            replayed_slips == result.stats().lock_slips,
+            "{} unrealizable activation times but {} counted (repairs: {})",
+            replayed_slips,
+            result.stats().lock_slips,
+            result.stats().slip_repairs
+        );
     }
 }
