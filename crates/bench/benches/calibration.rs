@@ -1,16 +1,26 @@
-//! Code-stable calibration benchmark for the hardware-independent regression
-//! gate.
+//! Code-stable calibration benchmarks for the hardware-independent
+//! regression gate.
 //!
-//! `bench_guard` compares `schedule_merging/*` medians against a committed
-//! baseline, but absolute nanoseconds depend on the machine: a CI runner
-//! slower than the recording machine fails the gate spuriously. This
-//! benchmark is a fixed integer workload that never changes with the
-//! scheduler code, so the ratio `current calibration / baseline calibration`
-//! measures the speed of the machine (and its current load), and the guard
-//! divides every gated measurement by it before comparing.
+//! `bench_guard` compares gated medians against a committed baseline, but
+//! absolute nanoseconds depend on the machine: a CI runner slower than the
+//! recording machine fails the gate spuriously. These benchmarks are fixed
+//! workloads that never change with the scheduler code, so the ratio
+//! `current calibration / baseline calibration` measures the speed of the
+//! machine (and its current load), and the guard divides every gated
+//! measurement by it before comparing.
 //!
-//! Keep this routine untouched across PRs — editing it silently rescales the
-//! gate for every committed baseline that contains its median.
+//! Two probes, because "machine speed" is not one scalar:
+//!
+//! * `calibration/spin` — pure integer ALU churn; cancels out clock-speed
+//!   and IPC differences. Used for compute-bound benches.
+//! * `calibration/chase` — dependent pointer chasing through a
+//!   cache-busting 16 MiB permutation cycle; cancels out memory-latency and
+//!   cache-hierarchy differences, which `spin` is blind to. Used for the
+//!   memory-sensitive benches (see `MEM_SENSITIVE_PREFIXES` in
+//!   `bench_guard`).
+//!
+//! Keep these routines untouched across PRs — editing one silently rescales
+//! the gate for every committed baseline that contains its median.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -25,10 +35,50 @@ fn spin(rounds: u64) -> u64 {
     acc
 }
 
+/// Entries of a 16 MiB pointer-chase buffer: 4 Mi `u32` indices.
+const CHASE_LEN: usize = 1 << 22;
+/// Dependent loads per measured iteration.
+const CHASE_STEPS: usize = 1 << 16;
+
+/// One deterministic single-cycle permutation over `0..CHASE_LEN` (Sattolo's
+/// algorithm driven by the same splitmix-style mixer as `spin`), so every
+/// load depends on the previous one and the hardware prefetcher has nothing
+/// to latch onto.
+fn chase_cycle() -> Vec<u32> {
+    let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state = state.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1);
+        let mut x = state;
+        x ^= x >> 29;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 32;
+        x
+    };
+    let mut cycle: Vec<u32> = (0..CHASE_LEN as u32).collect();
+    for i in (1..CHASE_LEN).rev() {
+        let j = (next() % i as u64) as usize;
+        cycle.swap(i, j);
+    }
+    cycle
+}
+
+/// Follows the permutation cycle for `steps` dependent loads.
+fn chase(cycle: &[u32], steps: usize) -> u32 {
+    let mut at: u32 = 0;
+    for _ in 0..steps {
+        at = cycle[at as usize];
+    }
+    at
+}
+
 fn calibration(c: &mut Criterion) {
     let mut group = c.benchmark_group("calibration");
     group.sample_size(15);
     group.bench_function("spin", |b| b.iter(|| spin(black_box(20_000))));
+    let cycle = chase_cycle();
+    group.bench_function("chase", |b| {
+        b.iter(|| chase(black_box(&cycle), black_box(CHASE_STEPS)))
+    });
     group.finish();
 }
 

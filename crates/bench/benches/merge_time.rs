@@ -1,23 +1,39 @@
 //! Criterion benchmark behind the paper's Fig. 6: execution time of the
 //! schedule-merging (table generation) algorithm as a function of the number
 //! of merged schedules and of the graph size.
+//!
+//! Two variants of every configuration:
+//!
+//! * `schedule_merging/*` — the merge at its default thread count (available
+//!   parallelism), i.e. what a caller gets out of the box; reported by
+//!   `bench_guard` for information (its median scales with the runner's
+//!   core count, which the single-threaded calibration probes cannot
+//!   normalize, so gating it would be machine-dependent);
+//! * `schedule_merging_serial/*` — pinned to one thread, so the serial
+//!   trajectory (scratch-arena reuse without fork-join) stays comparable
+//!   against pre-parallelism baselines such as `BENCH_2.json` and catches a
+//!   scratch-reuse regression that extra cores would mask. This group is
+//!   gated by `bench_guard`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cpg_gen::{generate, GeneratorConfig};
 use cpg_merge::{generate_schedule_table, MergeConfig};
 
-fn merge_time(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schedule_merging");
+const NODES: [usize; 3] = [60, 80, 120];
+const PATHS: [usize; 3] = [10, 18, 32];
+
+fn bench_group(c: &mut Criterion, group_name: &str, threads: usize) {
+    let mut group = c.benchmark_group(group_name);
     group.sample_size(10);
-    for &nodes in &[60usize, 80, 120] {
-        for &paths in &[10usize, 18, 32] {
+    for &nodes in &NODES {
+        for &paths in &PATHS {
             let config = GeneratorConfig::new(nodes, paths)
                 .with_processors(4)
                 .with_buses(2)
                 .with_seed((nodes * 1000 + paths) as u64);
             let system = generate(&config);
-            let merge_config = MergeConfig::new(system.broadcast_time());
+            let merge_config = MergeConfig::new(system.broadcast_time()).with_threads(threads);
             group.bench_with_input(
                 BenchmarkId::new(format!("{nodes}_nodes"), paths),
                 &system,
@@ -28,6 +44,12 @@ fn merge_time(c: &mut Criterion) {
         }
     }
     group.finish();
+}
+
+fn merge_time(c: &mut Criterion) {
+    // 0 = the automatic choice (available parallelism).
+    bench_group(c, "schedule_merging", 0);
+    bench_group(c, "schedule_merging_serial", 1);
 }
 
 criterion_group!(benches, merge_time);

@@ -1,5 +1,7 @@
 //! Configuration of the table-generation algorithm.
 
+use std::num::NonZeroUsize;
+
 use cpg_arch::Time;
 
 /// Rule used to pick the next current schedule after a back-step in the
@@ -36,14 +38,25 @@ pub enum SelectionPolicy {
 /// let config = MergeConfig::new(Time::new(1));
 /// assert_eq!(config.broadcast_time(), Time::new(1));
 /// assert_eq!(config.selection(), SelectionPolicy::LongestDelayFirst);
+/// assert_eq!(config.threads(), None); // auto: available parallelism
 ///
 /// let ablation = MergeConfig::new(Time::new(2)).with_selection(SelectionPolicy::ShortestDelayFirst);
 /// assert_eq!(ablation.selection(), SelectionPolicy::ShortestDelayFirst);
+///
+/// let serial = MergeConfig::new(Time::new(1)).with_threads(1);
+/// assert_eq!(serial.effective_threads(), 1);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MergeConfig {
     broadcast_time: Time,
     selection: SelectionPolicy,
+    /// Worker threads for the embarrassingly parallel phases of the merge
+    /// (per-track context construction + initial path schedules, and the
+    /// final realizability sweep). `None` means "decide at run time": the
+    /// `CPG_MERGE_THREADS` environment variable if set, otherwise the
+    /// machine's available parallelism. The merged output is bit-identical
+    /// for every thread count.
+    threads: Option<NonZeroUsize>,
 }
 
 impl MergeConfig {
@@ -54,6 +67,7 @@ impl MergeConfig {
         MergeConfig {
             broadcast_time,
             selection: SelectionPolicy::default(),
+            threads: None,
         }
     }
 
@@ -81,6 +95,44 @@ impl MergeConfig {
     pub fn with_broadcast_time(mut self, broadcast_time: Time) -> Self {
         self.broadcast_time = broadcast_time;
         self
+    }
+
+    /// The explicitly configured worker-thread count of the parallel merge
+    /// phases, or `None` when the count is decided at run time (see
+    /// [`effective_threads`](Self::effective_threads)).
+    #[must_use]
+    pub fn threads(&self) -> Option<usize> {
+        self.threads.map(NonZeroUsize::get)
+    }
+
+    /// Returns the configuration with a fixed worker-thread count for the
+    /// parallel merge phases. `1` forces the fully serial path (no worker
+    /// threads are spawned); `0` restores the automatic choice. The merge
+    /// result is bit-identical for every thread count — this knob trades
+    /// wall-clock for cores only.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = NonZeroUsize::new(threads);
+        self
+    }
+
+    /// The worker-thread count the merge will actually use: the configured
+    /// count if one was set, else the `CPG_MERGE_THREADS` environment
+    /// variable (how CI forces both extremes through the whole test suite),
+    /// else the machine's available parallelism.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if let Some(threads) = self.threads {
+            return threads.get();
+        }
+        if let Some(threads) = std::env::var("CPG_MERGE_THREADS")
+            .ok()
+            .and_then(|value| value.trim().parse::<usize>().ok())
+            .and_then(NonZeroUsize::new)
+        {
+            return threads.get();
+        }
+        fj::available_parallelism()
     }
 }
 
@@ -110,5 +162,22 @@ mod tests {
             .with_broadcast_time(Time::new(3));
         assert_eq!(config.broadcast_time(), Time::new(3));
         assert_eq!(config.selection(), SelectionPolicy::EnumerationOrder);
+    }
+
+    #[test]
+    fn thread_knob_fixes_zeroes_and_resolves() {
+        let config = MergeConfig::default();
+        assert_eq!(config.threads(), None);
+        // Without an explicit count the effective value is at least one
+        // (whatever the environment and hardware say).
+        assert!(config.effective_threads() >= 1);
+
+        let fixed = config.with_threads(3);
+        assert_eq!(fixed.threads(), Some(3));
+        assert_eq!(fixed.effective_threads(), 3);
+
+        // 0 restores the automatic choice.
+        let auto_again = fixed.with_threads(0);
+        assert_eq!(auto_again.threads(), None);
     }
 }

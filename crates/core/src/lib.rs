@@ -18,6 +18,14 @@
 //! by moving processes to previously tabled activation times (Theorem 2 of the
 //! paper).
 //!
+//! The embarrassingly parallel phases — per-track context construction, the
+//! initial per-path schedules and the final realizability sweep — fan out
+//! over a fixed-size worker pool (the vendored `fj` fork-join shim) with one
+//! reusable scratch arena per worker; the decision-tree walk itself is
+//! sequential. The thread count comes from [`MergeConfig::with_threads`]
+//! (default: available parallelism; `1` forces the serial path) and the
+//! merged output is bit-identical for every thread count.
+//!
 //! A condition-oblivious baseline ([`condition_oblivious_baseline`]) is also
 //! provided for comparison.
 //!

@@ -29,7 +29,9 @@
 
 use cpg::{enumerate_tracks, Assignment, CondId, Cpg, Cube, Track, TrackSet};
 use cpg_arch::{Architecture, PeId, Time};
-use cpg_path_sched::{Job, ListScheduler, LockSet, PathSchedule, SlippedLock, TrackContext};
+use cpg_path_sched::{
+    Job, ListScheduler, LockSet, PathSchedule, RunScratch, SlippedLock, TrackContext,
+};
 use cpg_table::ScheduleTable;
 
 use crate::config::{MergeConfig, SelectionPolicy};
@@ -86,10 +88,25 @@ pub fn generate_schedule_table_for_tracks(
     tracks: TrackSet,
 ) -> MergeResult {
     let scheduler = ListScheduler::new(cpg, arch, config.broadcast_time());
+    let threads = config.effective_threads();
     // One dense scheduling context per track, reused across the initial
     // per-path schedules and every adjustment/repair of the merge below.
-    let contexts: Vec<TrackContext> = tracks.iter().map(|t| scheduler.context(t)).collect();
-    let optimal: Vec<PathSchedule> = contexts.iter().map(TrackContext::schedule).collect();
+    // Both the context construction and the initial schedules are
+    // embarrassingly parallel across tracks, so they fan out over the
+    // fork-join shim with one scratch arena per worker; `threads == 1` runs
+    // the plain serial loop on this thread. The reduction is by track index,
+    // so the result is bit-identical for every thread count.
+    let built: Vec<(TrackContext, PathSchedule)> = fj::map_with(
+        threads,
+        tracks.tracks(),
+        RunScratch::new,
+        |scratch, _, track| {
+            let context = scheduler.context(track);
+            let schedule = context.schedule_with(scratch);
+            (context, schedule)
+        },
+    );
+    let (contexts, optimal): (Vec<TrackContext>, Vec<PathSchedule>) = built.into_iter().unzip();
     let delta_m = optimal
         .iter()
         .map(PathSchedule::delay)
@@ -99,6 +116,7 @@ pub fn generate_schedule_table_for_tracks(
     let mut merger = Merger {
         cpg,
         config,
+        threads,
         contexts: &contexts,
         tracks: &tracks,
         optimal: &optimal,
@@ -106,12 +124,15 @@ pub fn generate_schedule_table_for_tracks(
         steps: Vec::new(),
         stats: MergeStats::default(),
         saw_slip: false,
+        scratch: RunScratch::new(),
+        realized: None,
     };
     merger.run();
     let Merger {
         table,
         steps,
         stats,
+        realized,
         ..
     } = merger;
 
@@ -119,7 +140,10 @@ pub fn generate_schedule_table_for_tracks(
     MergeResult {
         table,
         tracks,
-        path_schedules: optimal,
+        // When the realizability sweep ran, its replays carry the per-path
+        // timing the table actually realizes; otherwise no lock ever slipped
+        // and the optimal schedules are exact.
+        path_schedules: realized.unwrap_or(optimal),
         delta_m,
         delta_max,
         steps,
@@ -147,6 +171,9 @@ const SLIP_REPAIR_ROUNDS: usize = 16;
 struct Merger<'a> {
     cpg: &'a Cpg,
     config: &'a MergeConfig,
+    /// Worker threads for the parallel phases (resolved once up front so the
+    /// whole merge sees one consistent count).
+    threads: usize,
     contexts: &'a [TrackContext<'a>],
     tracks: &'a TrackSet,
     optimal: &'a [PathSchedule],
@@ -156,6 +183,15 @@ struct Merger<'a> {
     /// `true` once any adjustment reported a slipped lock; gates the final
     /// realizability sweep that computes [`MergeStats::lock_slips`].
     saw_slip: bool,
+    /// Scratch arena for the serial decision-tree walk (adjustments and
+    /// repairs re-run the scheduler through it; the parallel phases pool
+    /// their own arenas per worker).
+    scratch: RunScratch,
+    /// Per-track replays produced by the realizability sweep: the schedules
+    /// the final table actually realizes, seeded into
+    /// [`MergeResult::path_schedules`] so callers see realized (not just
+    /// intended) per-path timing. `None` when no slip was ever observed.
+    realized: Option<Vec<PathSchedule>>,
 }
 
 impl Merger<'_> {
@@ -171,9 +207,16 @@ impl Merger<'_> {
         // Theorem-2 re-placement loop; whatever the repairs could not absorb
         // is what the final table still cannot realize. Replaying the table
         // through the scheduler gives the exact surviving count (0 whenever
-        // no slip was ever observed, so the sweep is skipped then).
+        // no slip was ever observed, so the sweep is skipped then) — and the
+        // replays themselves are the realized per-path schedules, so they are
+        // kept instead of thrown away.
         if self.saw_slip {
-            self.stats.lock_slips = self.residual_slips();
+            let replays = self.residual_replays();
+            self.stats.lock_slips = replays
+                .iter()
+                .map(|replay| replay.slipped_locks().len())
+                .sum();
+            self.realized = Some(replays);
         }
     }
 
@@ -189,7 +232,11 @@ impl Merger<'_> {
         locks: &mut LockSet,
         decided: &Assignment,
     ) -> PathSchedule {
-        let mut adjusted = self.contexts[track_idx].reschedule(&self.optimal[track_idx], locks);
+        let mut adjusted = self.contexts[track_idx].reschedule_with(
+            &mut self.scratch,
+            &self.optimal[track_idx],
+            locks,
+        );
         let mut rounds = 0;
         while !adjusted.slipped_locks().is_empty() && rounds < SLIP_REPAIR_ROUNDS {
             self.saw_slip = true;
@@ -201,7 +248,11 @@ impl Merger<'_> {
             if !progressed {
                 break;
             }
-            adjusted = self.contexts[track_idx].reschedule(&self.optimal[track_idx], locks);
+            adjusted = self.contexts[track_idx].reschedule_with(
+                &mut self.scratch,
+                &self.optimal[track_idx],
+                locks,
+            );
             rounds += 1;
         }
         self.saw_slip |= !adjusted.slipped_locks().is_empty();
@@ -295,25 +346,33 @@ impl Merger<'_> {
 
     /// Replays the final table through the per-track scheduler: every job of
     /// every track is locked at its applicable tabled time (pinned to the
-    /// recorded resource) and rescheduled; any lock the scheduler cannot
-    /// honour is an activation time the dispatcher cannot realize. The total
-    /// over all tracks is the surviving-slip count reported by
-    /// [`MergeStats::lock_slips`].
-    fn residual_slips(&self) -> usize {
-        let mut surviving = 0;
-        for (idx, track) in self.tracks.iter().enumerate() {
-            let assignment = Assignment::from_cube(&track.label());
-            let mut locks = LockSet::for_graph(self.cpg);
-            for job in self.track_jobs(track) {
-                if let Some(time) = self.table.activation_time(job, &assignment) {
-                    let pe = self.table.activation_resource(job, &assignment);
-                    locks.insert_pinned(job, time, pe);
+    /// recorded resource) and rescheduled. Any lock the scheduler cannot
+    /// honour is an activation time the dispatcher cannot realize — the
+    /// total slip count over the returned replays is what
+    /// [`MergeStats::lock_slips`] reports — and the replays themselves are
+    /// the *realized* per-path schedules under the final table, seeded into
+    /// [`MergeResult::path_schedules`].
+    ///
+    /// The tracks are independent, so the sweep fans out over the fork-join
+    /// shim with one scratch arena per worker; the reduction is by track
+    /// index, keeping the result identical for every thread count.
+    fn residual_replays(&self) -> Vec<PathSchedule> {
+        fj::map_with(
+            self.threads,
+            self.tracks.tracks(),
+            RunScratch::new,
+            |scratch, idx, track| {
+                let assignment = Assignment::from_cube(&track.label());
+                let mut locks = LockSet::for_graph(self.cpg);
+                for job in self.track_jobs(track) {
+                    if let Some(time) = self.table.activation_time(job, &assignment) {
+                        let pe = self.table.activation_resource(job, &assignment);
+                        locks.insert_pinned(job, time, pe);
+                    }
                 }
-            }
-            let replay = self.contexts[idx].reschedule(&self.optimal[idx], &locks);
-            surviving += replay.slipped_locks().len();
-        }
-        surviving
+                self.contexts[idx].reschedule_with(scratch, &self.optimal[idx], &locks)
+            },
+        )
     }
 
     /// Picks the reachable path used as the current schedule at a decision

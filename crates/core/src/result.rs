@@ -83,8 +83,17 @@ impl MergeResult {
         &self.tracks
     }
 
-    /// The individual (near-optimal) schedules of the alternative paths, in
-    /// the same order as [`MergeResult::tracks`].
+    /// The per-path schedules, in the same order as [`MergeResult::tracks`].
+    ///
+    /// When the merge never observed a slipped lock these are the individual
+    /// (near-optimal) schedules of the alternative paths. When it did, the
+    /// final realizability sweep replays every track against the finished
+    /// table (each job locked at its tabled time on its recorded resource)
+    /// and those replays are returned instead: the *realized* per-path
+    /// timing, with any surviving unrealizable activation still reported via
+    /// [`PathSchedule::slipped_locks`] (their total is
+    /// [`MergeStats::lock_slips`]). [`MergeResult::delta_m`] always refers to
+    /// the optimal schedules, so the lower bound is unaffected.
     #[must_use]
     pub fn path_schedules(&self) -> &[PathSchedule] {
         &self.path_schedules

@@ -30,6 +30,13 @@ impl Calendar {
         candidate
     }
 
+    /// Drops every reservation but keeps the interval storage allocated, so
+    /// a calendar pooled in a [`RunScratch`](crate::RunScratch) is reusable
+    /// across scheduler runs without allocator traffic.
+    pub(crate) fn clear(&mut self) {
+        self.intervals.clear();
+    }
+
     /// Reserves `[start, start + duration)`, merging with any overlapping or
     /// touching intervals already present.
     pub(crate) fn reserve(&mut self, start: Time, duration: Time) {
@@ -54,6 +61,12 @@ impl Calendar {
     #[cfg(test)]
     pub(crate) fn segments(&self) -> usize {
         self.intervals.len()
+    }
+
+    /// Allocated interval capacity (exposed to assert `clear` frees nothing).
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> usize {
+        self.intervals.capacity()
     }
 }
 
@@ -119,6 +132,24 @@ mod tests {
         cal.reserve(t(1), t(8));
         assert_eq!(cal.segments(), 1);
         assert_eq!(cal.earliest_fit(Time::ZERO, t(1)), t(10));
+    }
+
+    #[test]
+    fn clear_empties_the_calendar_but_keeps_its_storage() {
+        let mut cal = Calendar::default();
+        for i in 0..8 {
+            cal.reserve(t(i * 10), t(2));
+        }
+        assert_eq!(cal.segments(), 8);
+        let capacity = cal.capacity();
+        assert!(capacity >= 8);
+        cal.clear();
+        assert_eq!(cal.segments(), 0);
+        assert_eq!(cal.capacity(), capacity);
+        // A cleared calendar behaves like a fresh one.
+        assert_eq!(cal.earliest_fit(Time::ZERO, t(5)), Time::ZERO);
+        cal.reserve(t(0), t(4));
+        assert_eq!(cal.earliest_fit(Time::ZERO, t(5)), t(4));
     }
 
     #[test]

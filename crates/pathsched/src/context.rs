@@ -22,7 +22,6 @@
 //!   clone along the decision tree of the merge algorithm.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use cpg::{CondId, Cpg, Cube, ProcessId, Track};
 use cpg_arch::{Architecture, PeId, Time};
@@ -30,6 +29,7 @@ use cpg_arch::{Architecture, PeId, Time};
 use crate::calendar::Calendar;
 use crate::job::{Job, ScheduledJob};
 use crate::schedule::{PathSchedule, SlippedLock};
+use crate::scratch::RunScratch;
 
 /// Sentinel for "job not part of this track" in dense index tables.
 const ABSENT: u32 = u32::MAX;
@@ -455,9 +455,22 @@ impl<'a> TrackContext<'a> {
     /// Schedules the track with the partial-critical-path priority (longest
     /// remaining path to the sink first). Equivalent to
     /// [`ListScheduler::schedule_track`](crate::ListScheduler::schedule_track).
+    ///
+    /// Allocates a fresh [`RunScratch`] per call; callers that schedule
+    /// repeatedly should reuse one arena through
+    /// [`schedule_with`](Self::schedule_with).
     #[must_use]
     pub fn schedule(&self) -> PathSchedule {
-        self.run(&self.priorities, None)
+        self.schedule_with(&mut RunScratch::new())
+    }
+
+    /// [`schedule`](Self::schedule) through a reusable scratch arena: the
+    /// run's dense working state lives in `scratch`, which is reset on entry
+    /// and reusable for any later run on any context, so repeated scheduling
+    /// is allocation-free after warm-up.
+    #[must_use]
+    pub fn schedule_with(&self, scratch: &mut RunScratch) -> PathSchedule {
+        self.run(scratch, &self.priorities, None)
     }
 
     /// Re-schedules the track after some activation times were fixed in the
@@ -476,17 +489,32 @@ impl<'a> TrackContext<'a> {
     /// here.
     #[must_use]
     pub fn reschedule(&self, original: &PathSchedule, locks: &LockSet) -> PathSchedule {
-        // Priority: earlier original start  =>  scheduled earlier.
-        let priorities: Vec<u64> = self
-            .jobs
-            .iter()
-            .map(|&job| {
-                original
-                    .start(job)
-                    .map_or(0, |start| u64::MAX - start.as_u64())
-            })
-            .collect();
-        self.run(&priorities, Some((locks, original)))
+        self.reschedule_with(&mut RunScratch::new(), original, locks)
+    }
+
+    /// [`reschedule`](Self::reschedule) through a reusable scratch arena (see
+    /// [`schedule_with`](Self::schedule_with) for the arena contract).
+    #[must_use]
+    pub fn reschedule_with(
+        &self,
+        scratch: &mut RunScratch,
+        original: &PathSchedule,
+        locks: &LockSet,
+    ) -> PathSchedule {
+        // Priority: earlier original start  =>  scheduled earlier. The
+        // priority buffer is moved out of the arena for the duration of the
+        // run (`run` borrows the rest of the arena mutably) and handed back
+        // with its storage intact afterwards.
+        let mut priorities = std::mem::take(&mut scratch.priorities);
+        priorities.clear();
+        priorities.extend(self.jobs.iter().map(|&job| {
+            original
+                .start(job)
+                .map_or(0, |start| u64::MAX - start.as_u64())
+        }));
+        let schedule = self.run(scratch, &priorities, Some((locks, original)));
+        scratch.priorities = priorities;
+        schedule
     }
 
     /// The conditions the guard of dense job `i` depends on.
@@ -569,9 +597,18 @@ impl<'a> TrackContext<'a> {
     /// Serial schedule-generation scheme on the dense representation: commits
     /// eligible jobs in priority order to the earliest feasible slot of their
     /// resource, driving eligibility with an indegree-counting ready queue.
-    fn run(&self, priorities: &[u64], locking: Option<(&LockSet, &PathSchedule)>) -> PathSchedule {
+    ///
+    /// All working state lives in `scratch` (reset and sized on entry), so
+    /// after one run on the largest track of the graph, further runs through
+    /// the same arena touch the allocator only for the returned schedule.
+    fn run(
+        &self,
+        scratch: &mut RunScratch,
+        priorities: &[u64],
+        locking: Option<(&LockSet, &PathSchedule)>,
+    ) -> PathSchedule {
         let n = self.jobs.len();
-        let mut calendars: Vec<Calendar> = vec![Calendar::default(); self.arch.len()];
+        scratch.prepare(n, self.arch.len(), &self.indegree);
 
         // Pre-reserve every locked interval on the resource the locked job
         // actually occupies, so unlocked jobs are placed around them even
@@ -581,31 +618,25 @@ impl<'a> TrackContext<'a> {
                 if let Some(start) = locks.get(self.jobs[dense]) {
                     if let Some(pe) = self.locked_pe(dense, locks, original) {
                         if self.arch.is_exclusive(pe) {
-                            calendars[pe.index()].reserve(start, self.durations[dense]);
+                            scratch.calendars[pe.index()].reserve(start, self.durations[dense]);
                         }
                     }
                 }
             }
         }
 
-        let mut starts = vec![Time::ZERO; n];
-        let mut ends = vec![Time::ZERO; n];
-        let mut pes: Vec<Option<PeId>> = vec![None; n];
-        let mut placed = vec![false; n];
-        let mut slipped: Vec<SlippedLock> = Vec::new();
-        let mut indegree = self.indegree.clone();
-
         // Max-heap on (priority, smallest dense index) — dense indices are in
         // `Job` order, so ties break exactly like the reference rescan.
-        let mut ready: BinaryHeap<(u64, Reverse<u32>)> = indegree
-            .iter()
-            .enumerate()
-            .filter(|&(_, &deg)| deg == 0)
-            .map(|(dense, _)| (priorities[dense], Reverse(dense as u32)))
-            .collect();
+        for (dense, &deg) in scratch.indegree.iter().enumerate() {
+            if deg == 0 {
+                scratch
+                    .ready
+                    .push((priorities[dense], Reverse(dense as u32)));
+            }
+        }
 
         let mut committed = 0usize;
-        while let Some((_, Reverse(dense))) = ready.pop() {
+        while let Some((_, Reverse(dense))) = scratch.ready.pop() {
             let dense = dense as usize;
             let job = self.jobs[dense];
 
@@ -613,7 +644,7 @@ impl<'a> TrackContext<'a> {
                 .preds
                 .row(dense)
                 .iter()
-                .map(|&p| ends[p as usize])
+                .map(|&p| scratch.ends[p as usize])
                 .max()
                 .unwrap_or(Time::ZERO);
             // The guard of the job must be decidable on its processing
@@ -622,8 +653,12 @@ impl<'a> TrackContext<'a> {
             if self.needs_broadcast {
                 let local_pe = self.mapped_pe[dense];
                 for &cond in self.guard_requirements(dense) {
-                    data_ready =
-                        data_ready.max(self.condition_available(cond, local_pe, &ends, &placed));
+                    data_ready = data_ready.max(self.condition_available(
+                        cond,
+                        local_pe,
+                        &scratch.ends,
+                        &scratch.placed,
+                    ));
                 }
             }
 
@@ -643,23 +678,23 @@ impl<'a> TrackContext<'a> {
                 let (locks, original) = locking.expect("locking is Some");
                 let pe = self.locked_pe(dense, locks, original);
                 if start != lock {
-                    slipped.push(SlippedLock {
+                    scratch.slipped.push(SlippedLock {
                         job,
                         intended: lock,
                         actual: start,
                     });
                     if let Some(pe) = pe {
                         if self.arch.is_exclusive(pe) {
-                            calendars[pe.index()].reserve(start, duration);
+                            scratch.calendars[pe.index()].reserve(start, duration);
                         }
                     }
                 }
                 (start, pe)
             } else {
-                match self.placement(dense, data_ready, duration, &calendars) {
+                match self.placement(dense, data_ready, duration, &scratch.calendars) {
                     Some((pe, start)) => {
                         if self.arch.is_exclusive(pe) {
-                            calendars[pe.index()].reserve(start, duration);
+                            scratch.calendars[pe.index()].reserve(start, duration);
                         }
                         (start, Some(pe))
                     }
@@ -668,17 +703,17 @@ impl<'a> TrackContext<'a> {
                 }
             };
 
-            starts[dense] = start;
-            ends[dense] = start + duration;
-            pes[dense] = pe;
-            placed[dense] = true;
+            scratch.starts[dense] = start;
+            scratch.ends[dense] = start + duration;
+            scratch.pes[dense] = pe;
+            scratch.placed[dense] = true;
             committed += 1;
 
             for &succ in self.succs.row(dense) {
                 let succ = succ as usize;
-                indegree[succ] -= 1;
-                if indegree[succ] == 0 {
-                    ready.push((priorities[succ], Reverse(succ as u32)));
+                scratch.indegree[succ] -= 1;
+                if scratch.indegree[succ] == 0 {
+                    scratch.ready.push((priorities[succ], Reverse(succ as u32)));
                 }
             }
         }
@@ -687,20 +722,20 @@ impl<'a> TrackContext<'a> {
         let scheduled: Vec<ScheduledJob> = (0..n)
             .map(|dense| ScheduledJob {
                 job: self.jobs[dense],
-                start: starts[dense],
-                end: ends[dense],
-                pe: pes[dense],
+                start: scratch.starts[dense],
+                end: scratch.ends[dense],
+                pe: scratch.pes[dense],
             })
             .collect();
         let delay = if self.sink_dense == ABSENT {
             Time::ZERO
         } else {
-            starts[self.sink_dense as usize]
+            scratch.starts[self.sink_dense as usize]
         };
         let mut resolutions: Vec<(CondId, Time)> = self
             .computers
             .iter()
-            .map(|&(dense, cond)| (cond, ends[dense as usize]))
+            .map(|&(dense, cond)| (cond, scratch.ends[dense as usize]))
             .collect();
         resolutions.sort_unstable_by_key(|&(cond, time)| (time, cond));
         PathSchedule::new_detailed(
@@ -708,7 +743,10 @@ impl<'a> TrackContext<'a> {
             scheduled,
             delay,
             resolutions,
-            slipped,
+            // The schedule owns a copy; cloning an empty buffer (the common,
+            // no-slip case) does not allocate, and the arena keeps its
+            // capacity for the next slipping run either way.
+            scratch.slipped.clone(),
             self.cpg.len(),
             self.cpg.num_conditions(),
         )

@@ -16,6 +16,10 @@
 //! * [`TrackContext`] — the dense, indexed per-track scheduling core: job
 //!   indices, adjacency, guard requirements and priorities are precomputed
 //!   once per track and reused across every `schedule`/`reschedule` run;
+//! * [`RunScratch`] — the reusable per-run scratch arena (dense state, ready
+//!   queue, per-resource calendars, slip buffer): one arena per worker makes
+//!   repeated scheduling allocation-free after warm-up, which is what the
+//!   fork-join merge of `cpg-merge` pools per thread;
 //! * [`LockSet`] — a dense set of locked activation times, cheap to clone
 //!   along the decision tree of the merge algorithm;
 //! * [`PathSchedule`] — the result: activation times for every job of one
@@ -49,8 +53,10 @@ mod job;
 pub mod reference;
 mod schedule;
 mod scheduler;
+mod scratch;
 
 pub use context::{LockSet, TrackContext};
 pub use job::{Job, ScheduledJob};
 pub use schedule::{PathSchedule, SlippedLock};
 pub use scheduler::ListScheduler;
+pub use scratch::RunScratch;

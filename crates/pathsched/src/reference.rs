@@ -13,7 +13,10 @@
 //! original schedule, locked intervals are reserved on the correct resource,
 //! and slipped locks are recorded — so any divergence between the two
 //! implementations flags a defect in the indexed data structures, not an
-//! intentional behaviour change.
+//! intentional behaviour change. Unlike the production core it allocates its
+//! state fresh per call (no [`RunScratch`](crate::RunScratch) arena), which
+//! makes it a second, independent oracle for the scratch-reuse contract: a
+//! reused arena must keep matching these from-scratch schedules.
 
 use std::collections::HashMap;
 
@@ -372,6 +375,9 @@ mod tests {
 
     #[test]
     fn reference_agrees_with_the_indexed_core_on_the_examples() {
+        // One scratch arena reused across every system, track and run: the
+        // from-scratch reference doubles as the oracle for arena reuse.
+        let mut scratch = crate::RunScratch::new();
         for system in [
             examples::diamond(),
             examples::sensor_actuator(),
@@ -383,7 +389,8 @@ mod tests {
             let scheduler = crate::ListScheduler::new(cpg, arch, tau0);
             let tracks = enumerate_tracks(cpg);
             for track in tracks.iter() {
-                let fast = scheduler.schedule_track(track);
+                let ctx = scheduler.context(track);
+                let fast = ctx.schedule_with(&mut scratch);
                 let slow = schedule_track(cpg, arch, tau0, track);
                 assert_eq!(fast, slow, "divergence on {}", track.label());
 
@@ -400,7 +407,9 @@ mod tests {
                     .iter()
                     .map(|(&job, &time)| (job, (time, None)))
                     .collect();
-                let fast_adj = scheduler.reschedule(track, &fast, &locks);
+                let mut lock_set = scheduler.empty_locks();
+                lock_set.extend(locks.iter().map(|(&job, &time)| (job, time)));
+                let fast_adj = ctx.reschedule_with(&mut scratch, &fast, &lock_set);
                 let slow_adj = reschedule(cpg, arch, tau0, track, &slow, &pinned);
                 assert_eq!(fast_adj, slow_adj, "reschedule divergence");
             }

@@ -27,7 +27,9 @@
 //! requirements and priorities once per track and drives eligibility with a
 //! binary-heap ready queue. Callers that schedule the same track repeatedly —
 //! like the merge algorithm — should build the context once via
-//! [`ListScheduler::context`] and reuse it.
+//! [`ListScheduler::context`] and reuse it, threading a
+//! [`RunScratch`](crate::RunScratch) arena through the runs so the per-call
+//! dense state is reused instead of reallocated.
 
 use std::collections::HashMap;
 
@@ -37,6 +39,7 @@ use cpg_arch::{Architecture, Time};
 use crate::context::{LockSet, TrackContext};
 use crate::job::Job;
 use crate::schedule::PathSchedule;
+use crate::scratch::RunScratch;
 
 /// List scheduler for the alternative paths of a conditional process graph.
 ///
@@ -117,10 +120,16 @@ impl<'a> ListScheduler<'a> {
         self.context(track).schedule()
     }
 
-    /// Schedules every alternative path of a track set, in track order.
+    /// Schedules every alternative path of a track set, in track order,
+    /// reusing one scratch arena across all of them. (The merge algorithm
+    /// parallelizes this fan-out itself, with one arena per worker.)
     #[must_use]
     pub fn schedule_all(&self, tracks: &TrackSet) -> Vec<PathSchedule> {
-        tracks.iter().map(|t| self.schedule_track(t)).collect()
+        let mut scratch = RunScratch::new();
+        tracks
+            .iter()
+            .map(|t| self.context(t).schedule_with(&mut scratch))
+            .collect()
     }
 
     /// Re-schedules a path after some activation times have been fixed in the

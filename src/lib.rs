@@ -110,7 +110,7 @@ pub mod prelude {
         SelectionPolicy,
     };
     pub use cpg_path_sched::{
-        Job, ListScheduler, LockSet, PathSchedule, SlippedLock, TrackContext,
+        Job, ListScheduler, LockSet, PathSchedule, RunScratch, SlippedLock, TrackContext,
     };
     pub use cpg_sim::{SimViolation, SimulationReport, Simulator};
     pub use cpg_table::{ScheduleTable, TableViolation};

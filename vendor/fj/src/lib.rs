@@ -1,0 +1,210 @@
+//! Offline fork-join shim: a rayon-style parallel map built on scoped
+//! threads, with nothing but the standard library.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the tiny slice of fork-join it actually needs: run one closure over every
+//! element of a slice, fan the work out over a fixed number of worker
+//! threads, and hand the results back **in input order** regardless of which
+//! worker computed what.
+//!
+//! Design:
+//!
+//! * **Chunked work queue.** Workers pull half-open index ranges off a shared
+//!   atomic cursor instead of pre-splitting the slice, so a worker that draws
+//!   only cheap items goes back for more and stragglers cannot serialize the
+//!   tail. The chunk size shrinks with the item count to keep the queue
+//!   balanced for short inputs.
+//! * **Deterministic reduction.** Every result is tagged with the index of
+//!   the item that produced it and placed into its slot after the join.
+//!   Output `i` is the value of `f` applied to item `i` — bit-identical to
+//!   the serial loop for any thread count (assuming `f` itself is a pure
+//!   function of `(index, item)` and the per-worker state).
+//! * **Per-worker state.** [`map_with`] gives each worker one value built by
+//!   an `init` closure (a scratch arena, a buffer pool, an RNG), threaded
+//!   mutably through every call that worker executes. State never crosses
+//!   threads, so it needs neither `Send` nor `Sync`.
+//! * **No spawn below two.** `threads <= 1`, an empty input, or a single item
+//!   run the plain serial loop on the calling thread: callers can hardwire
+//!   "1 forces the serial path" without a special case.
+//!
+//! Worker panics are joined and re-raised on the calling thread
+//! (`std::thread::scope` additionally guarantees no worker outlives the
+//! call), so a panicking `f` behaves like it would in the serial loop.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = fj::map(4, &[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//!
+//! // Per-worker scratch: each worker reuses one buffer across its items.
+//! let sums = fj::map_with(
+//!     2,
+//!     &[3usize, 1, 4],
+//!     Vec::<u64>::new,
+//!     |buf, _, &n| {
+//!         buf.clear();
+//!         buf.extend(1..=n as u64);
+//!         buf.iter().sum::<u64>()
+//!     },
+//! );
+//! assert_eq!(sums, vec![6, 1, 10]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of hardware threads available to this process, as reported by
+/// [`std::thread::available_parallelism`]; `1` when the platform cannot tell.
+#[must_use]
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parallel map without per-worker state: `map(threads, items, f)[i]` is
+/// `f(i, &items[i])`, computed on up to `threads` worker threads.
+pub fn map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map_with(threads, items, || (), |(), index, item| f(index, item))
+}
+
+/// Parallel map with per-worker state: each worker owns one value produced by
+/// `init()` and threads it mutably through every `f(&mut state, index, item)`
+/// call it executes. Results come back in input order for any thread count.
+///
+/// `threads <= 1` (and inputs of at most one item) run serially on the
+/// calling thread with a single `init()` state and never spawn.
+pub fn map_with<T, S, R, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = threads.min(items.len()).max(1);
+    if threads <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(index, item)| f(&mut state, index, item))
+            .collect();
+    }
+
+    // Small chunks keep the queue balanced when items have skewed costs;
+    // aiming for ~4 draws per worker bounds the cursor contention.
+    let chunk = (items.len() / (threads * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut produced = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        for (index, item) in (start..end).zip(&items[start..end]) {
+                            produced.push((index, f(&mut state, index, item)));
+                        }
+                    }
+                    produced
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle
+                    .join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+            })
+            .collect()
+    });
+
+    // Deterministic reduction: place every tagged result into its input slot.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (index, result) in buckets.into_iter().flatten() {
+        debug_assert!(slots[index].is_none(), "index {index} produced twice");
+        slots[index] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index is drawn from the queue exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 300] {
+            assert_eq!(map(threads, &items, |_, &x| x * 3 + 1), expected);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs_never_spawn() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(map(8, &[7u32], |i, &x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn indices_match_items() {
+        let items = [10u64, 20, 30];
+        let tagged = map(2, &items, |i, &x| (i, x));
+        assert_eq!(tagged, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_within_a_worker() {
+        // Each worker counts how many items it processed into its state; the
+        // counts must sum to the item count, whatever the distribution.
+        let items: Vec<u32> = (0..100).collect();
+        let counts = map_with(
+            4,
+            &items,
+            || 0usize,
+            |seen, _, &x| {
+                *seen += 1;
+                (x, *seen)
+            },
+        );
+        assert_eq!(counts.len(), items.len());
+        // First component is the item: order preserved.
+        for (i, &(x, seen)) in counts.iter().enumerate() {
+            assert_eq!(x as usize, i);
+            assert!(seen >= 1);
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            map(2, &[1u32, 2, 3, 4], |_, &x| {
+                assert!(x != 3, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}
