@@ -46,10 +46,40 @@ fn bench_group(c: &mut Criterion, group_name: &str, threads: usize) {
     group.finish();
 }
 
+/// Deep-condition-nest configurations: many alternative paths over few
+/// processes on a narrow architecture, so the decision tree is deep while
+/// the per-track schedules stay small — the *sequential walk* (placements,
+/// adjustments, repairs along the tree), not the per-track runs, is what
+/// dominates. This is the trajectory that gates the undo-log walk: a
+/// regression in its trail/pool management shows up here long before the
+/// wide `schedule_merging/*` configurations notice.
+const WALK_DEPTHS: [usize; 3] = [16, 24, 32];
+
+fn merge_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_walk");
+    group.sample_size(10);
+    for &paths in &WALK_DEPTHS {
+        let config = GeneratorConfig::new(3 * paths, paths)
+            .with_processors(2)
+            .with_buses(1)
+            .with_seed(0xDEE9 + paths as u64);
+        let system = generate(&config);
+        // One thread: the walk is serial by construction; pinning the
+        // parallel phases too keeps the median core-count-independent, so
+        // the group can be gated like schedule_merging_serial/*.
+        let merge_config = MergeConfig::new(system.broadcast_time()).with_threads(1);
+        group.bench_with_input(BenchmarkId::from_parameter(paths), &system, |b, system| {
+            b.iter(|| generate_schedule_table(system.cpg(), system.arch(), &merge_config))
+        });
+    }
+    group.finish();
+}
+
 fn merge_time(c: &mut Criterion) {
     // 0 = the automatic choice (available parallelism).
     bench_group(c, "schedule_merging", 0);
     bench_group(c, "schedule_merging_serial", 1);
+    merge_walk(c);
 }
 
 criterion_group!(benches, merge_time);

@@ -3,11 +3,12 @@
 //!
 //! Compares a fresh criterion-shim measurement (the JSON-lines file produced
 //! by running `cargo bench` with `CRITERION_JSON=<path>`) against a committed
-//! baseline (`BENCH_3.json`) and fails when any gated median
-//! (`schedule_merging_serial/*` — the one-thread-pinned merge, whose cost is
-//! core-count-independent) regresses by more than the allowed percentage;
-//! the default-parallelism `schedule_merging/*` group is reported for
-//! information (see `GATED_PREFIXES`).
+//! baseline (`BENCH_4.json`) and fails when any gated median
+//! (`schedule_merging_serial/*` and `merge_walk/*` — the one-thread-pinned
+//! merge trajectories, whose cost is core-count-independent) regresses by
+//! more than the allowed percentage; the default-parallelism
+//! `schedule_merging/*` group is reported for information (see
+//! `GATED_PREFIXES`).
 //!
 //! When both files contain the `calibration/spin` benchmark (a fixed integer
 //! workload that never changes with the scheduler code, see
@@ -27,7 +28,7 @@
 //! CRITERION_JSON=bench_current.json cargo bench --bench calibration \
 //!     --bench merge_time --bench path_schedule_time
 //! cargo run --release -p cpg-bench --bin bench_guard -- \
-//!     --baseline BENCH_3.json --current bench_current.json
+//!     --baseline BENCH_4.json --current bench_current.json
 //! ```
 //!
 //! `--emit <path> --label <name>` additionally writes the current
@@ -42,14 +43,16 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 /// Benchmarks whose regression fails the gate; everything else is reported
-/// for information only. Only the one-thread-pinned merge group is gated:
-/// the default-parallelism `schedule_merging/` group scales with the
-/// runner's core count, which neither calibration probe (both
-/// single-threaded) can normalize out — gating it would fail spuriously on
-/// any runner with fewer cores than the baseline machine, exactly the
-/// hardware dependence the calibration exists to prevent. The parallel
-/// medians are still measured, reported and recorded in every baseline.
-const GATED_PREFIXES: &[&str] = &["schedule_merging_serial/"];
+/// for information only. Only the one-thread-pinned groups are gated — the
+/// full serial merge trajectory and the deep-condition-nest walk trajectory
+/// (`merge_walk/`, where the sequential decision-tree walk dominates): the
+/// default-parallelism `schedule_merging/` group scales with the runner's
+/// core count, which neither calibration probe (both single-threaded) can
+/// normalize out — gating it would fail spuriously on any runner with fewer
+/// cores than the baseline machine, exactly the hardware dependence the
+/// calibration exists to prevent. The parallel medians are still measured,
+/// reported and recorded in every baseline.
+const GATED_PREFIXES: &[&str] = &["schedule_merging_serial/", "merge_walk/"];
 
 /// The code-stable compute-bound calibration benchmark used to normalize out
 /// clock/IPC differences between machines.
@@ -76,7 +79,7 @@ fn matches_any(name: &str, prefixes: &[&str]) -> bool {
 }
 
 fn main() -> ExitCode {
-    let mut baseline_path = String::from("BENCH_3.json");
+    let mut baseline_path = String::from("BENCH_4.json");
     let mut current_path = None;
     let mut emit_path = None;
     let mut label = String::from("BENCH_CURRENT");

@@ -48,15 +48,40 @@ pub struct SuiteOutcome {
     pub path_scheduling_seconds: f64,
 }
 
+/// Worker threads for the outer fan-out of the experiment suite over whole
+/// systems: the `CPG_SUITE_THREADS` environment variable when set (CI pins
+/// `1` to smoke-check that serial and nested-parallel runs produce the same
+/// report), otherwise the machine's available parallelism.
+#[must_use]
+pub fn suite_threads() -> usize {
+    std::env::var("CPG_SUITE_THREADS")
+        .ok()
+        .and_then(|value| value.trim().parse::<usize>().ok())
+        .filter(|&threads| threads > 0)
+        .unwrap_or_else(fj::available_parallelism)
+}
+
 /// Runs the experiment of the paper's Section 6 on `graphs_per_size` graphs
 /// per node count (the paper uses 360). Every generated table is additionally
 /// executed by the simulator as a sanity check.
+///
+/// The systems are independent, so they fan out over a second fork-join
+/// level ([`suite_threads`] workers) in cost order — largest graphs first,
+/// so one 120-node straggler drawn late cannot serialize the tail. Each
+/// system's merge detects it is running inside a worker and keeps its own
+/// track-level phases serial (the nested-pool policy of `fj`), and the
+/// reduction is by config index, so the report is identical for every
+/// thread count (timing columns aside).
 #[must_use]
 pub fn run_suite(graphs_per_size: usize) -> Vec<SuiteOutcome> {
-    paper_suite(graphs_per_size)
-        .iter()
-        .map(evaluate_config)
-        .collect()
+    let configs = paper_suite(graphs_per_size);
+    fj::map_with_cost(
+        suite_threads(),
+        &configs,
+        |_, config| (config.nodes() * config.target_paths()) as u64,
+        || (),
+        |(), _, config| evaluate_config(config),
+    )
 }
 
 /// Schedules one generated system and measures the merge.
@@ -447,6 +472,11 @@ pub fn table2_report() -> String {
 /// Ablation study: the effect of the back-step path-selection policy and of
 /// the broadcast time `τ0` on the quality of the generated tables, over a
 /// batch of randomly generated systems.
+///
+/// Like [`run_suite`], the per-system evaluations fan out over
+/// [`suite_threads`] workers in cost order; the aggregation is over an
+/// index-ordered reduction, so the report is identical for every thread
+/// count.
 #[must_use]
 pub fn ablation_report(graphs: usize) -> String {
     let mut out = String::new();
@@ -458,6 +488,7 @@ pub fn ablation_report(graphs: usize) -> String {
                 .with_seed(0xA11_0000 + i as u64)
         })
         .collect();
+    let cost = |_: usize, config: &GeneratorConfig| (config.nodes() * config.target_paths()) as u64;
 
     let _ = writeln!(
         out,
@@ -468,20 +499,26 @@ pub fn ablation_report(graphs: usize) -> String {
         SelectionPolicy::ShortestDelayFirst,
         SelectionPolicy::EnumerationOrder,
     ] {
-        let mut total = 0.0;
-        let mut zero = 0usize;
-        for config in &configs {
-            let system = generate(config);
-            let result = generate_schedule_table(
-                system.cpg(),
-                system.arch(),
-                &MergeConfig::new(system.broadcast_time()).with_selection(policy),
-            );
-            total += result.overhead_percent().max(0.0);
-            if result.is_zero_overhead() {
-                zero += 1;
-            }
-        }
+        let outcomes = fj::map_with_cost(
+            suite_threads(),
+            &configs,
+            cost,
+            || (),
+            |(), _, config| {
+                let system = generate(config);
+                let result = generate_schedule_table(
+                    system.cpg(),
+                    system.arch(),
+                    &MergeConfig::new(system.broadcast_time()).with_selection(policy),
+                );
+                (
+                    result.overhead_percent().max(0.0),
+                    result.is_zero_overhead(),
+                )
+            },
+        );
+        let total: f64 = outcomes.iter().map(|&(overhead, _)| overhead).sum();
+        let zero = outcomes.iter().filter(|&&(_, zero)| zero).count();
         let _ = writeln!(
             out,
             "  {policy:?}: avg +{:.2}%, zero increase on {}/{} graphs",
@@ -493,16 +530,22 @@ pub fn ablation_report(graphs: usize) -> String {
 
     let _ = writeln!(out, "\nBroadcast time tau0 sensitivity (average dmax):");
     for tau0 in [0u64, 1, 2, 5, 10] {
-        let mut total = 0u64;
-        for config in &configs {
-            let system = generate(config);
-            let result = generate_schedule_table(
-                system.cpg(),
-                system.arch(),
-                &MergeConfig::new(Time::new(tau0)),
-            );
-            total += result.delta_max().as_u64();
-        }
+        let delays = fj::map_with_cost(
+            suite_threads(),
+            &configs,
+            cost,
+            || (),
+            |(), _, config| {
+                let system = generate(config);
+                let result = generate_schedule_table(
+                    system.cpg(),
+                    system.arch(),
+                    &MergeConfig::new(Time::new(tau0)),
+                );
+                result.delta_max().as_u64()
+            },
+        );
+        let total: u64 = delays.iter().sum();
         let _ = writeln!(
             out,
             "  tau0 = {tau0:>2}: average dmax = {:.1}",

@@ -57,5 +57,7 @@ mod result;
 
 pub use baseline::{condition_oblivious_baseline, BaselineResult};
 pub use config::{MergeConfig, SelectionPolicy};
+#[cfg(any(test, feature = "test-util"))]
+pub use merge::generate_schedule_table_cloning;
 pub use merge::{generate_schedule_table, generate_schedule_table_for_tracks};
 pub use result::{MergeResult, MergeStats, MergeStep};

@@ -26,6 +26,15 @@
 //! 4. conflicts with requirement 2 of Section 3 are repaired by moving the
 //!    process to one of the previously tabled activation times (the loop
 //!    justified by Theorem 2).
+//!
+//! The walk runs on an explicit stack with **undo-log state management**
+//! (see [`Merger::walk_undo_log`]): one [`Assignment`] of decided conditions
+//! mutated in place, one journalled [`LockSet`] per back-step branch rolled
+//! back via [`LockSet::rollback`], and pooled [`PathSchedule`]s rebuilt in
+//! place by the scheduler — so the walk, like the scheduler runs feeding it,
+//! is allocation-free after warm-up. The original clone-per-node recursion
+//! is kept behind the `test-util` feature as a differential-test oracle
+//! ([`generate_schedule_table_cloning`]).
 
 use cpg::{enumerate_tracks, Assignment, CondId, Cpg, Cube, Track, TrackSet};
 use cpg_arch::{Architecture, PeId, Time};
@@ -87,6 +96,45 @@ pub fn generate_schedule_table_for_tracks(
     config: &MergeConfig,
     tracks: TrackSet,
 ) -> MergeResult {
+    generate_for_tracks_inner(cpg, arch, config, tracks, WalkKind::UndoLog)
+}
+
+/// Variant of [`generate_schedule_table`] that drives the merge with the
+/// original clone-per-node recursive decision-tree walk instead of the
+/// undo-log walk. The two walks make identical decisions; this one exists
+/// purely as a reference oracle for the differential tests that pin the
+/// undo-log walk's output, and only compiles with the `test-util` feature.
+#[cfg(any(test, feature = "test-util"))]
+#[must_use]
+pub fn generate_schedule_table_cloning(
+    cpg: &Cpg,
+    arch: &Architecture,
+    config: &MergeConfig,
+) -> MergeResult {
+    let tracks = enumerate_tracks(cpg);
+    generate_for_tracks_inner(cpg, arch, config, tracks, WalkKind::Cloning)
+}
+
+/// Which decision-tree walk implementation drives the merge.
+#[derive(Clone, Copy)]
+enum WalkKind {
+    /// The iterative undo-log walk: one shared [`Assignment`]/[`LockSet`]
+    /// mutated in place with trail-based rollback, pooled schedules —
+    /// allocation-free after warm-up.
+    UndoLog,
+    /// The original recursive walk cloning the decided conditions, the lock
+    /// set and the current schedule at every tree node (oracle only).
+    #[cfg(any(test, feature = "test-util"))]
+    Cloning,
+}
+
+fn generate_for_tracks_inner(
+    cpg: &Cpg,
+    arch: &Architecture,
+    config: &MergeConfig,
+    tracks: TrackSet,
+    walk: WalkKind,
+) -> MergeResult {
     let scheduler = ListScheduler::new(cpg, arch, config.broadcast_time());
     let threads = config.effective_threads();
     // One dense scheduling context per track, reused across the initial
@@ -126,8 +174,13 @@ pub fn generate_schedule_table_for_tracks(
         saw_slip: false,
         scratch: RunScratch::new(),
         realized: None,
+        slip_buf: Vec::new(),
+        stale_buf: Vec::new(),
+        frontier_buf: Vec::new(),
+        fresh_buf: Vec::new(),
+        candidates_buf: Vec::new(),
     };
-    merger.run();
+    merger.run(walk);
     let Merger {
         table,
         steps,
@@ -192,17 +245,57 @@ struct Merger<'a> {
     /// [`MergeResult::path_schedules`] so callers see realized (not just
     /// intended) per-path timing. `None` when no slip was ever observed.
     realized: Option<Vec<PathSchedule>>,
+    /// Reusable buffers of the serial walk's repair loops; together with the
+    /// scratch arena, the lock-set journal and the schedule pool they make
+    /// the walk allocation-free after warm-up.
+    slip_buf: Vec<SlippedLock>,
+    stale_buf: Vec<Cube>,
+    frontier_buf: Vec<Cube>,
+    fresh_buf: Vec<Cube>,
+    candidates_buf: Vec<(Time, Option<PeId>)>,
+}
+
+/// One pending continuation of the iterative decision-tree walk. The
+/// recursion of the paper's `BuildScheduleTable` procedure is unrolled onto
+/// an explicit stack of these, so the walk keeps *one* set of decided
+/// conditions and one lock set per back-step branch instead of cloning state
+/// at every node.
+enum WalkTask {
+    /// Visit a node: place activation times of `schedule` until the next
+    /// undecided condition resolves, then push the forward child.
+    Enter {
+        track_idx: usize,
+        schedule: PathSchedule,
+    },
+    /// The forward subtree under `condition = value` is fully explored: roll
+    /// the shared lock set back to `mark`, flip the condition and take the
+    /// back-step.
+    AfterForward {
+        condition: CondId,
+        value: bool,
+        resolved_at: Time,
+        mark: usize,
+    },
+    /// The back-step subtree is fully explored: undecide the condition and
+    /// recycle the branch's lock set.
+    AfterBack { condition: CondId },
 }
 
 impl Merger<'_> {
-    fn run(&mut self) {
-        let decided = Assignment::new();
-        let root = self
-            .select_track(&decided)
-            .expect("a valid graph has at least one alternative path");
-        let schedule = self.optimal[root].clone();
-        let fixed = LockSet::for_graph(self.cpg);
-        self.walk(root, schedule, decided, fixed);
+    fn run(&mut self, walk: WalkKind) {
+        match walk {
+            WalkKind::UndoLog => self.walk_undo_log(),
+            #[cfg(any(test, feature = "test-util"))]
+            WalkKind::Cloning => {
+                let decided = Assignment::new();
+                let root = self
+                    .select_track(&decided)
+                    .expect("a valid graph has at least one alternative path");
+                let schedule = self.optimal[root].clone();
+                let fixed = LockSet::for_graph(self.cpg);
+                self.walk_cloning(root, schedule, decided, fixed);
+            }
+        }
         // Adjustments that slipped fed the divergent entries back through the
         // Theorem-2 re-placement loop; whatever the repairs could not absorb
         // is what the final table still cannot realize. Replaying the table
@@ -226,37 +319,60 @@ impl Merger<'_> {
     /// start it can actually achieve (or moved to a previously tabled time by
     /// the conflict repair), the lock is updated, and the track is
     /// re-adjusted — until no lock slips or the round cap is reached.
+    ///
+    /// The adjusted schedule is rebuilt into `out` (previous content
+    /// discarded, buffers reused): the walk pools its schedules, so repeated
+    /// adjustments stop touching the allocator once the pool is warm.
+    fn adjust_into(
+        &mut self,
+        track_idx: usize,
+        locks: &mut LockSet,
+        decided: &Assignment,
+        out: &mut PathSchedule,
+    ) {
+        self.contexts[track_idx].reschedule_into(
+            &mut self.scratch,
+            &self.optimal[track_idx],
+            locks,
+            out,
+        );
+        let mut rounds = 0;
+        while !out.slipped_locks().is_empty() && rounds < SLIP_REPAIR_ROUNDS {
+            self.saw_slip = true;
+            let mut slips = std::mem::take(&mut self.slip_buf);
+            slips.clear();
+            slips.extend_from_slice(out.slipped_locks());
+            let mut progressed = false;
+            for slip in &slips {
+                progressed |= self.repair_slip(out, decided, slip, locks);
+            }
+            self.slip_buf = slips;
+            if !progressed {
+                break;
+            }
+            self.contexts[track_idx].reschedule_into(
+                &mut self.scratch,
+                &self.optimal[track_idx],
+                locks,
+                out,
+            );
+            rounds += 1;
+        }
+        self.saw_slip |= !out.slipped_locks().is_empty();
+    }
+
+    /// [`adjust_into`](Self::adjust_into) allocating a fresh schedule per
+    /// call — the clone-per-node discipline of the oracle walk.
+    #[cfg(any(test, feature = "test-util"))]
     fn adjust(
         &mut self,
         track_idx: usize,
         locks: &mut LockSet,
         decided: &Assignment,
     ) -> PathSchedule {
-        let mut adjusted = self.contexts[track_idx].reschedule_with(
-            &mut self.scratch,
-            &self.optimal[track_idx],
-            locks,
-        );
-        let mut rounds = 0;
-        while !adjusted.slipped_locks().is_empty() && rounds < SLIP_REPAIR_ROUNDS {
-            self.saw_slip = true;
-            let slips: Vec<SlippedLock> = adjusted.slipped_locks().to_vec();
-            let mut progressed = false;
-            for slip in &slips {
-                progressed |= self.repair_slip(&adjusted, decided, slip, locks);
-            }
-            if !progressed {
-                break;
-            }
-            adjusted = self.contexts[track_idx].reschedule_with(
-                &mut self.scratch,
-                &self.optimal[track_idx],
-                locks,
-            );
-            rounds += 1;
-        }
-        self.saw_slip |= !adjusted.slipped_locks().is_empty();
-        adjusted
+        let mut out = PathSchedule::default();
+        self.adjust_into(track_idx, locks, decided, &mut out);
+        out
     }
 
     /// Repairs one slipped lock by re-timing the stale tabled entries the
@@ -287,35 +403,58 @@ impl Merger<'_> {
     ) -> bool {
         let job = slip.job();
         let decided_cube = decided.to_cube();
-        let mut stale: Vec<Cube> = self
-            .table
-            .entries(job)
-            .filter(|&(column, time)| time == slip.intended() && column.compatible(&decided_cube))
-            .map(|(column, _)| column)
-            .collect();
+        let mut stale = std::mem::take(&mut self.stale_buf);
+        stale.clear();
+        stale.extend(
+            self.table
+                .entries(job)
+                .filter(|&(column, time)| {
+                    time == slip.intended() && column.compatible(&decided_cube)
+                })
+                .map(|(column, _)| column),
+        );
         if stale.is_empty() {
+            self.stale_buf = stale;
             return false;
         }
         // Closure over compatible same-time columns: an execution can satisfy
         // a stale column together with any column compatible with it, so
         // every entry at the intended time that overlaps the rewritten set
         // must move along or requirement 2 (one time per execution) breaks.
-        loop {
-            let more: Vec<Cube> = self
-                .table
-                .entries(job)
-                .filter(|&(column, time)| {
-                    time == slip.intended()
-                        && !stale.contains(&column)
-                        && stale.iter().any(|s| s.compatible(&column))
-                })
-                .map(|(column, _)| column)
-                .collect();
-            if more.is_empty() {
-                break;
+        // `stale` is kept sorted so membership is a binary search, and each
+        // round only tests candidates against the columns added by the
+        // previous round (a column compatible with an older member joined the
+        // set the round after that member did), so every (entry, stale
+        // column) pair is examined at most once.
+        stale.sort_unstable();
+        let mut frontier = std::mem::take(&mut self.frontier_buf);
+        let mut fresh = std::mem::take(&mut self.fresh_buf);
+        frontier.clear();
+        frontier.extend_from_slice(&stale);
+        while !frontier.is_empty() {
+            fresh.clear();
+            fresh.extend(
+                self.table
+                    .entries(job)
+                    .filter(|&(column, time)| {
+                        time == slip.intended()
+                            && stale.binary_search(&column).is_err()
+                            && frontier.iter().any(|s| s.compatible(&column))
+                    })
+                    .map(|(column, _)| column),
+            );
+            for &column in &fresh {
+                let at = stale
+                    .binary_search(&column)
+                    .expect_err("fresh columns are not yet stale");
+                stale.insert(at, column);
             }
-            stale.extend(more);
+            std::mem::swap(&mut frontier, &mut fresh);
         }
+        frontier.clear();
+        fresh.clear();
+        self.frontier_buf = frontier;
+        self.fresh_buf = fresh;
 
         // Theorem 2: prefer one of the previously tabled activation times of
         // this job that the adjusted schedule can reach; invent a new time
@@ -339,6 +478,8 @@ impl Merger<'_> {
         for column in &stale {
             self.table.set_on(job, *column, target, target_pe);
         }
+        stale.clear();
+        self.stale_buf = stale;
         locks.insert_pinned(job, target, target_pe);
         self.stats.slip_repairs += 1;
         true
@@ -395,10 +536,225 @@ impl Merger<'_> {
     }
 
     /// Depth-first traversal of the decision tree (the `BuildScheduleTable`
-    /// procedure of the paper's Fig. 3), with the current schedule, the
-    /// conditions decided so far and the activation times already fixed along
-    /// this tree path.
-    fn walk(
+    /// procedure of the paper's Fig. 3) on an explicit stack, with undo-log
+    /// state management:
+    ///
+    /// * the conditions decided along the current tree path live in **one**
+    ///   [`Assignment`], assigned on the way down and unassigned on the way
+    ///   back up;
+    /// * the activation times fixed along the path live in one [`LockSet`]
+    ///   per back-step branch (consecutive forward nodes share their
+    ///   branch's set, journalled and rolled back to the node's
+    ///   [`mark`](LockSet::mark) when its forward subtree completes); the
+    ///   sets themselves are pooled and recycled across branches;
+    /// * the current schedules are pooled [`PathSchedule`]s rebuilt in place
+    ///   by [`adjust_into`](Self::adjust_into).
+    ///
+    /// Together with the scratch arena of the scheduler runs this makes the
+    /// whole walk allocation-free after warm-up; the visit order, every
+    /// placement decision and the produced [`MergeResult`] are identical to
+    /// the clone-per-node recursion (kept as [`walk_cloning`](Self::walk_cloning)
+    /// for the differential tests).
+    fn walk_undo_log(&mut self) {
+        let mut decided = Assignment::new();
+        let root = self
+            .select_track(&decided)
+            .expect("a valid graph has at least one alternative path");
+
+        // Pools: dead schedules and lock sets are recycled instead of freed.
+        let mut schedule_pool: Vec<PathSchedule> = Vec::new();
+        let mut spare = PathSchedule::default();
+        let mut lock_pool: Vec<LockSet> = Vec::new();
+        // One lock set per back-step branch of the current tree path; the
+        // top of the stack is the set the current node fixes times into.
+        let mut lock_stack: Vec<LockSet> = vec![LockSet::for_graph(self.cpg)];
+
+        let mut tasks: Vec<WalkTask> = vec![WalkTask::Enter {
+            track_idx: root,
+            schedule: self.optimal[root].clone(),
+        }];
+
+        while let Some(task) = tasks.pop() {
+            match task {
+                WalkTask::Enter {
+                    track_idx,
+                    mut schedule,
+                } => {
+                    let mut fixed = lock_stack
+                        .pop()
+                        .expect("every branch of the walk owns a lock set");
+                    let next = self.place_phase(
+                        track_idx,
+                        &mut schedule,
+                        &decided,
+                        &mut fixed,
+                        &mut spare,
+                    );
+
+                    // End of schedule: every condition of this path has been
+                    // decided and all activation times are placed.
+                    let Some((condition, resolved_at)) = next else {
+                        schedule_pool.push(schedule);
+                        lock_stack.push(fixed);
+                        continue;
+                    };
+
+                    let label = self.tracks.tracks()[track_idx].label();
+                    let value = label
+                        .polarity_of(condition)
+                        .expect("a condition resolved on a path appears in its label");
+
+                    // Continue with the same schedule: the condition takes
+                    // the value of the current path (no back-step).
+                    self.stats.tree_nodes += 1;
+                    self.steps.push(MergeStep {
+                        decided: decided.to_cube(),
+                        condition,
+                        resolved_at,
+                        current_path: label,
+                        back_step: false,
+                    });
+                    decided.assign(condition, value);
+                    let mark = fixed.mark();
+                    lock_stack.push(fixed);
+                    tasks.push(WalkTask::AfterForward {
+                        condition,
+                        value,
+                        resolved_at,
+                        mark,
+                    });
+                    tasks.push(WalkTask::Enter {
+                        track_idx,
+                        schedule,
+                    });
+                }
+                WalkTask::AfterForward {
+                    condition,
+                    value,
+                    resolved_at,
+                    mark,
+                } => {
+                    // The forward subtree is fully explored: restore the
+                    // shared state to this node's view...
+                    lock_stack
+                        .last_mut()
+                        .expect("the branch lock set outlives its subtree")
+                        .rollback(mark);
+                    decided.unassign(condition);
+                    let decided_cube = decided.to_cube();
+
+                    // ...and take the back-step: the condition takes the
+                    // opposite value; a new current schedule is selected
+                    // among the reachable paths and adjusted.
+                    decided.assign(condition, !value);
+                    let Some(new_idx) = self.select_track(&decided) else {
+                        decided.unassign(condition);
+                        continue;
+                    };
+                    let mut locks = lock_pool
+                        .pop()
+                        .unwrap_or_else(|| LockSet::for_graph(self.cpg));
+                    locks.clear();
+                    self.locks_from_table_into(&mut locks, new_idx, &decided, condition);
+                    let mut adjusted = schedule_pool.pop().unwrap_or_default();
+                    self.adjust_into(new_idx, &mut locks, &decided, &mut adjusted);
+                    self.stats.tree_nodes += 1;
+                    self.stats.adjustments += 1;
+                    self.steps.push(MergeStep {
+                        decided: decided_cube,
+                        condition,
+                        resolved_at,
+                        current_path: self.tracks.tracks()[new_idx].label(),
+                        back_step: true,
+                    });
+                    lock_stack.push(locks);
+                    tasks.push(WalkTask::AfterBack { condition });
+                    tasks.push(WalkTask::Enter {
+                        track_idx: new_idx,
+                        schedule: adjusted,
+                    });
+                }
+                WalkTask::AfterBack { condition } => {
+                    decided.unassign(condition);
+                    let branch_locks = lock_stack
+                        .pop()
+                        .expect("the back-step branch pushed its lock set");
+                    lock_pool.push(branch_locks);
+                }
+            }
+        }
+    }
+
+    /// The placement phase of one decision-tree node: fixes activation times
+    /// of `schedule` in the table until the next undecided condition is
+    /// resolved (or the schedule ends), re-adjusting the schedule in place
+    /// when a conflict repair moves a process. Returns the next undecided
+    /// condition resolution, if any.
+    fn place_phase(
+        &mut self,
+        track_idx: usize,
+        schedule: &mut PathSchedule,
+        decided: &Assignment,
+        fixed: &mut LockSet,
+        spare: &mut PathSchedule,
+    ) -> Option<(CondId, Time)> {
+        loop {
+            // The scheduler caches the resolutions sorted by (time, cond),
+            // so the first undecided one is the earliest.
+            let next = schedule
+                .resolutions()
+                .iter()
+                .copied()
+                .find(|(c, _)| decided.value(*c).is_none());
+            let horizon = next.map(|(_, t)| t);
+
+            let mut repaired = false;
+            // Indexed scan: repairs replace `schedule` and restart the loop,
+            // so no snapshot of the job list is needed.
+            for i in 0..schedule.len() {
+                let sj = schedule.jobs()[i];
+                if let Some(h) = horizon {
+                    if sj.start() >= h {
+                        break;
+                    }
+                }
+                if fixed.contains(sj.job()) {
+                    continue;
+                }
+                if let Some(pid) = sj.job().as_process() {
+                    if self.cpg.process(pid).kind().is_dummy() {
+                        fixed.insert(sj.job(), sj.start());
+                        continue;
+                    }
+                }
+                match self.place(schedule, decided, sj.job(), sj.start(), sj.pe()) {
+                    Placement::Kept(resource) => {
+                        fixed.insert_pinned(sj.job(), sj.start(), resource);
+                    }
+                    Placement::Moved(new_time, resource) => {
+                        fixed.insert_pinned(sj.job(), new_time, resource);
+                        // The re-adjusted schedule lands in `spare`, which
+                        // then swaps with the (dead) current schedule — the
+                        // old buffer becomes the next repair's target.
+                        self.adjust_into(track_idx, fixed, decided, spare);
+                        std::mem::swap(schedule, spare);
+                        repaired = true;
+                        break;
+                    }
+                }
+            }
+            if !repaired {
+                return next;
+            }
+        }
+    }
+
+    /// The original recursive clone-per-node decision-tree walk, kept as the
+    /// reference oracle for the differential tests of the undo-log walk: the
+    /// decided conditions, the lock set and (on repairs and back-steps) the
+    /// current schedule are cloned at every node instead of journalled.
+    #[cfg(any(test, feature = "test-util"))]
+    fn walk_cloning(
         &mut self,
         track_idx: usize,
         schedule: PathSchedule,
@@ -412,8 +768,6 @@ impl Merger<'_> {
         // resolved (or the schedule ends). Conflict repairs re-adjust the
         // schedule, in which case the placement scan restarts.
         let next = loop {
-            // The scheduler caches the resolutions sorted by (time, cond),
-            // so the first undecided one is the earliest.
             let next = schedule
                 .resolutions()
                 .iter()
@@ -422,8 +776,6 @@ impl Merger<'_> {
             let horizon = next.map(|(_, t)| t);
 
             let mut repaired = false;
-            // Indexed scan: repairs replace `schedule` and restart the loop,
-            // so no snapshot of the job list is needed.
             for i in 0..schedule.len() {
                 let sj = schedule.jobs()[i];
                 if let Some(h) = horizon {
@@ -479,7 +831,7 @@ impl Merger<'_> {
         });
         let mut decided_fwd = decided.clone();
         decided_fwd.assign(condition, value);
-        self.walk(track_idx, schedule, decided_fwd, fixed.clone());
+        self.walk_cloning(track_idx, schedule, decided_fwd, fixed.clone());
 
         // Back-step: the condition takes the opposite value; a new current
         // schedule is selected among the reachable paths and adjusted.
@@ -488,7 +840,8 @@ impl Merger<'_> {
         let Some(new_idx) = self.select_track(&decided_back) else {
             return;
         };
-        let mut locks = self.locks_from_table(new_idx, &decided, &decided_back);
+        let mut locks = LockSet::for_graph(self.cpg);
+        self.locks_from_table_into(&mut locks, new_idx, &decided_back, condition);
         let adjusted = self.adjust(new_idx, &mut locks, &decided_back);
         self.stats.tree_nodes += 1;
         self.stats.adjustments += 1;
@@ -499,27 +852,35 @@ impl Merger<'_> {
             current_path: self.tracks.tracks()[new_idx].label(),
             back_step: true,
         });
-        self.walk(new_idx, adjusted, decided_back, locks);
+        self.walk_cloning(new_idx, adjusted, decided_back, locks);
     }
 
     /// Rule 3: activation times already fixed in columns that depend only on
-    /// conditions decided at ancestor nodes are enforced on the newly
+    /// conditions decided at ancestor tree nodes are enforced on the newly
     /// selected schedule, pinned to the resource recorded when the time was
     /// tabled — a lock inherited from another path's adjusted schedule must
     /// occupy the bus that schedule used, not a track-local guess.
-    fn locks_from_table(
+    ///
+    /// `decided` is the assignment *including* the condition `resolved` that
+    /// the back-step flipped; the ancestor conditions are exactly the decided
+    /// ones other than `resolved`. The locks land in the caller-provided
+    /// (pooled, cleared) set; every row probe resolves through the schedule
+    /// table's dense per-job index.
+    fn locks_from_table_into(
         &self,
+        locks: &mut LockSet,
         track_idx: usize,
-        ancestors: &Assignment,
         decided: &Assignment,
-    ) -> LockSet {
+        resolved: CondId,
+    ) {
         let track = &self.tracks.tracks()[track_idx];
         let decided_cube = decided.to_cube();
-        let mut locks = LockSet::for_graph(self.cpg);
         for job in self.track_jobs(track) {
             let mut best: Option<(usize, Time, Option<PeId>)> = None;
             for (column, time, resource) in self.table.entries_on(job) {
-                let ancestors_only = column.conditions().all(|c| ancestors.value(c).is_some());
+                let ancestors_only = column
+                    .conditions()
+                    .all(|c| c != resolved && decided.value(c).is_some());
                 if ancestors_only && decided_cube.implies(&column) {
                     let specificity = column.len();
                     if best.is_none_or(|(len, _, _)| specificity > len) {
@@ -531,20 +892,17 @@ impl Merger<'_> {
                 locks.insert_pinned(job, time, resource);
             }
         }
-        locks
     }
 
     /// The jobs that can appear on a track: its processes (except the
     /// dummies) and the broadcasts of the conditions it determines.
-    fn track_jobs(&self, track: &Track) -> Vec<Job> {
-        let mut jobs: Vec<Job> = track
+    fn track_jobs<'t>(&'t self, track: &'t Track) -> impl Iterator<Item = Job> + 't {
+        track
             .processes()
             .iter()
             .filter(|&&p| !self.cpg.process(p).kind().is_dummy())
             .map(|&p| Job::Process(p))
-            .collect();
-        jobs.extend(track.determined_conditions().map(Job::Broadcast));
-        jobs
+            .chain(track.determined_conditions().map(Job::Broadcast))
     }
 
     /// Rules 2 and 4: place one activation time, repairing conflicts by the
@@ -558,14 +916,17 @@ impl Merger<'_> {
         pe: Option<PeId>,
     ) -> Placement {
         let column = self.column_for(schedule, decided, pe, start);
-        let conflicting: Vec<(Time, Option<PeId>)> = self
-            .table
-            .entries_on(job)
-            .filter(|(existing, t, _)| existing.compatible(&column) && *t != start)
-            .map(|(_, t, resource)| (t, resource))
-            .collect();
+        let mut candidates = std::mem::take(&mut self.candidates_buf);
+        candidates.clear();
+        candidates.extend(
+            self.table
+                .entries_on(job)
+                .filter(|(existing, t, _)| existing.compatible(&column) && *t != start)
+                .map(|(_, t, resource)| (t, resource)),
+        );
 
-        if conflicting.is_empty() {
+        if candidates.is_empty() {
+            self.candidates_buf = candidates;
             let resource = if self.table.get(job, &column) == Some(start) {
                 self.table.resource(job, &column).or(pe)
             } else {
@@ -591,10 +952,10 @@ impl Merger<'_> {
         // Theorem 2: one of the previously tabled activation times of this
         // process avoids every conflict. Moving to a tabled time also adopts
         // the resource recorded for it — that is where the job proved to fit.
-        let mut candidates: Vec<(Time, Option<PeId>)> = conflicting;
         candidates.sort_unstable_by_key(|&(t, _)| t);
         candidates.dedup_by_key(|&mut (t, _)| t);
-        for (candidate, resource) in candidates {
+        for at in 0..candidates.len() {
+            let (candidate, resource) = candidates[at];
             let moved_column = self.column_for(schedule, decided, pe, candidate);
             let still_conflicts = self
                 .table
@@ -605,9 +966,11 @@ impl Merger<'_> {
                     self.table.set_on(job, moved_column, candidate, resource);
                 }
                 self.stats.conflicts_repaired += 1;
+                self.candidates_buf = candidates;
                 return Placement::Moved(candidate, resource);
             }
         }
+        self.candidates_buf = candidates;
 
         // Should not happen for well-formed inputs (Theorem 2); keep the
         // original time and record the requirement-2 violation.
@@ -902,6 +1265,43 @@ mod tests {
                 replay.slipped_locks()
             );
         }
+    }
+
+    /// Field-wise comparison of the undo-log walk against the clone-per-node
+    /// oracle (the broad random coverage lives in the workspace-level
+    /// differential proptest; this pins the crafted examples).
+    fn assert_walks_identical(cpg: &Cpg, arch: &Architecture, config: &MergeConfig) {
+        let undo = generate_schedule_table(cpg, arch, config);
+        let oracle = generate_schedule_table_cloning(cpg, arch, config);
+        assert_eq!(undo.table(), oracle.table());
+        assert_eq!(undo.tracks(), oracle.tracks());
+        assert_eq!(undo.path_schedules(), oracle.path_schedules());
+        assert_eq!(undo.delta_m(), oracle.delta_m());
+        assert_eq!(undo.delta_max(), oracle.delta_max());
+        assert_eq!(undo.steps(), oracle.steps());
+        assert_eq!(undo.stats(), oracle.stats());
+    }
+
+    #[test]
+    fn undo_log_walk_matches_the_cloning_oracle_on_the_examples() {
+        for system in [
+            examples::diamond(),
+            examples::sensor_actuator(),
+            examples::fig1(),
+        ] {
+            let config = MergeConfig::new(system.broadcast_time());
+            assert_walks_identical(system.cpg(), system.arch(), &config);
+        }
+    }
+
+    #[test]
+    fn undo_log_walk_matches_the_cloning_oracle_when_locks_slip() {
+        let (arch, cpg) = slipping_system();
+        let config = MergeConfig::new(Time::new(2));
+        // Sanity: this system forces the repair loop.
+        let result = generate_schedule_table(&cpg, &arch, &config);
+        assert!(result.stats().slip_repairs > 0);
+        assert_walks_identical(&cpg, &arch, &config);
     }
 
     #[test]

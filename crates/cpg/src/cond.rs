@@ -155,7 +155,10 @@ impl fmt::Display for Literal {
 /// let d_notc = d_only.and(c.is_false()).unwrap();
 /// assert!(dc.excludes(&d_notc));          // (D∧C) ∧ (D∧¬C) = false
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+/// Cubes are [`Ord`]: an arbitrary but deterministic total order (by the
+/// positive then the negative bitset) that lets hot loops keep cube
+/// collections sorted and membership-test them by binary search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cube {
     positive: u64,
     negative: u64,

@@ -79,6 +79,12 @@ struct Lock {
 /// the bus recorded when the time was tabled, so a locked broadcast lands on
 /// that bus instead of a track-local guess.
 ///
+/// Every mutation is recorded in an internal undo journal, so a caller that
+/// explores alternatives — like the decision-tree walk of the merge
+/// algorithm — can [`mark`](LockSet::mark) the set before speculating and
+/// [`rollback`](LockSet::rollback) to the mark afterwards instead of cloning
+/// the whole set at every tree node.
+///
 /// # Example
 ///
 /// ```
@@ -92,13 +98,31 @@ struct Lock {
 /// locks.insert(Job::Process(decide), Time::new(7));
 /// assert_eq!(locks.get(Job::Process(decide)), Some(Time::new(7)));
 /// assert_eq!(locks.len(), 1);
+///
+/// // Speculative exploration via the undo journal.
+/// let mark = locks.mark();
+/// locks.insert(Job::Process(decide), Time::new(9));
+/// locks.rollback(mark);
+/// assert_eq!(locks.get(Job::Process(decide)), Some(Time::new(7)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct LockSet {
     /// Number of process slots (`cpg.len()`); broadcast slots follow.
     processes: usize,
     slots: Vec<Option<Lock>>,
     len: usize,
+    /// Undo journal: `(slot, previous content)` per mutation since the last
+    /// [`clear`](LockSet::clear), truncated by [`rollback`](LockSet::rollback).
+    journal: Vec<(u32, Option<Lock>)>,
+}
+
+// The journal records *how* the set reached its current content, not the
+// content itself: two sets with identical locks are equal regardless of the
+// mutation history that produced them.
+impl PartialEq for LockSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.processes == other.processes && self.slots == other.slots && self.len == other.len
+    }
 }
 
 impl LockSet {
@@ -110,6 +134,7 @@ impl LockSet {
             processes: cpg.len(),
             slots: vec![None; cpg.len() + cpg.num_conditions()],
             len: 0,
+            journal: Vec::new(),
         }
     }
 
@@ -135,10 +160,48 @@ impl LockSet {
     pub fn insert_pinned(&mut self, job: Job, time: Time, pe: Option<PeId>) -> Option<Time> {
         let slot = self.slot(job).expect("job belongs to a different graph");
         let previous = self.slots[slot].replace(Lock { time, pe });
+        self.journal.push((slot as u32, previous));
         if previous.is_none() {
             self.len += 1;
         }
         previous.map(|lock| lock.time)
+    }
+
+    /// A position in the undo journal. Mutations made after taking a mark can
+    /// be undone with [`rollback`](LockSet::rollback), which is how the merge
+    /// algorithm's decision-tree walk shares one lock set along a path
+    /// instead of cloning it at every node.
+    #[must_use]
+    pub fn mark(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Undoes every mutation made since `mark` was taken, restoring the
+    /// overwritten (or absent) locks in reverse order.
+    ///
+    /// Marks are positions in the journal: rolling back to an older mark
+    /// invalidates every mark taken after it. A mark from before the last
+    /// [`clear`](LockSet::clear) is also invalid (clearing empties the
+    /// journal).
+    pub fn rollback(&mut self, mark: usize) {
+        while self.journal.len() > mark {
+            let (slot, previous) = self.journal.pop().expect("journal is longer than the mark");
+            let current = std::mem::replace(&mut self.slots[slot as usize], previous);
+            match (current.is_some(), previous.is_some()) {
+                (true, false) => self.len -= 1,
+                (false, true) => self.len += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Removes every lock and empties the undo journal, keeping the slot
+    /// capacity: a cleared set is ready for reuse on the same graph without
+    /// reallocating (the merge walk pools lock sets this way).
+    pub fn clear(&mut self) {
+        self.slots.fill(None);
+        self.len = 0;
+        self.journal.clear();
     }
 
     /// The locked activation time of `job`, if any.
@@ -501,10 +564,30 @@ impl<'a> TrackContext<'a> {
         original: &PathSchedule,
         locks: &LockSet,
     ) -> PathSchedule {
+        let mut out = PathSchedule::default();
+        self.reschedule_into(scratch, original, locks, &mut out);
+        out
+    }
+
+    /// [`reschedule`](Self::reschedule) that writes the result into `out`,
+    /// reusing its buffers in addition to the scratch arena's: callers that
+    /// re-adjust schedules in a loop — the decision-tree walk of the merge
+    /// algorithm — pool `PathSchedule`s and rebuild them in place, so the
+    /// whole walk touches the allocator only until the pools are warm. The
+    /// previous content of `out` is discarded; the rebuilt schedule is
+    /// bit-identical to what [`reschedule_with`](Self::reschedule_with)
+    /// returns.
+    pub fn reschedule_into(
+        &self,
+        scratch: &mut RunScratch,
+        original: &PathSchedule,
+        locks: &LockSet,
+        out: &mut PathSchedule,
+    ) {
         // Priority: earlier original start  =>  scheduled earlier. The
         // priority buffer is moved out of the arena for the duration of the
-        // run (`run` borrows the rest of the arena mutably) and handed back
-        // with its storage intact afterwards.
+        // run (`run_into` borrows the rest of the arena mutably) and handed
+        // back with its storage intact afterwards.
         let mut priorities = std::mem::take(&mut scratch.priorities);
         priorities.clear();
         priorities.extend(self.jobs.iter().map(|&job| {
@@ -512,9 +595,8 @@ impl<'a> TrackContext<'a> {
                 .start(job)
                 .map_or(0, |start| u64::MAX - start.as_u64())
         }));
-        let schedule = self.run(scratch, &priorities, Some((locks, original)));
+        self.run_into(scratch, &priorities, Some((locks, original)), out);
         scratch.priorities = priorities;
-        schedule
     }
 
     /// The conditions the guard of dense job `i` depends on.
@@ -607,6 +689,20 @@ impl<'a> TrackContext<'a> {
         priorities: &[u64],
         locking: Option<(&LockSet, &PathSchedule)>,
     ) -> PathSchedule {
+        let mut out = PathSchedule::default();
+        self.run_into(scratch, priorities, locking, &mut out);
+        out
+    }
+
+    /// [`run`](Self::run) writing the produced schedule into `out` (cleared
+    /// and refilled, buffers reused).
+    fn run_into(
+        &self,
+        scratch: &mut RunScratch,
+        priorities: &[u64],
+        locking: Option<(&LockSet, &PathSchedule)>,
+        out: &mut PathSchedule,
+    ) {
         let n = self.jobs.len();
         scratch.prepare(n, self.arch.len(), &self.indegree);
 
@@ -719,37 +815,30 @@ impl<'a> TrackContext<'a> {
         }
         debug_assert_eq!(committed, n, "acyclic tracks commit every job");
 
-        let scheduled: Vec<ScheduledJob> = (0..n)
-            .map(|dense| ScheduledJob {
-                job: self.jobs[dense],
-                start: scratch.starts[dense],
-                end: scratch.ends[dense],
-                pe: scratch.pes[dense],
-            })
-            .collect();
         let delay = if self.sink_dense == ABSENT {
             Time::ZERO
         } else {
             scratch.starts[self.sink_dense as usize]
         };
-        let mut resolutions: Vec<(CondId, Time)> = self
-            .computers
-            .iter()
-            .map(|&(dense, cond)| (cond, scratch.ends[dense as usize]))
-            .collect();
-        resolutions.sort_unstable_by_key(|&(cond, time)| (time, cond));
-        PathSchedule::new_detailed(
+        // The schedule owns a copy of the slip buffer; extending an empty
+        // buffer (the common, no-slip case) does not allocate, and the arena
+        // keeps its capacity for the next slipping run either way.
+        out.rebuild_from_parts(
             self.label,
-            scheduled,
             delay,
-            resolutions,
-            // The schedule owns a copy; cloning an empty buffer (the common,
-            // no-slip case) does not allocate, and the arena keeps its
-            // capacity for the next slipping run either way.
-            scratch.slipped.clone(),
             self.cpg.len(),
             self.cpg.num_conditions(),
-        )
+            (0..n).map(|dense| ScheduledJob {
+                job: self.jobs[dense],
+                start: scratch.starts[dense],
+                end: scratch.ends[dense],
+                pe: scratch.pes[dense],
+            }),
+            self.computers
+                .iter()
+                .map(|&(dense, cond)| (cond, scratch.ends[dense as usize])),
+            &scratch.slipped,
+        );
     }
 
     /// The dense index of a job on this track, if the job is part of it.
@@ -793,6 +882,74 @@ mod tests {
         assert_eq!(collected.len(), 2);
         assert!(collected.contains(&(p, Time::new(4))));
         assert!(collected.contains(&(b, Time::new(5))));
+    }
+
+    #[test]
+    fn lock_journal_rolls_back_inserts_overwrites_and_clears() {
+        let system = examples::fig1();
+        let cpg = system.cpg();
+        let mut locks = LockSet::for_graph(cpg);
+        let p = Job::Process(cpg.process_by_name("P1").unwrap());
+        let q = Job::Process(cpg.process_by_name("P2").unwrap());
+        let bus = system.arch().broadcast_buses().next();
+        locks.insert(p, Time::new(3));
+        let baseline = locks.clone();
+
+        // Insert + overwrite + pin, then roll everything back.
+        let mark = locks.mark();
+        locks.insert(q, Time::new(5));
+        locks.insert_pinned(p, Time::new(9), bus);
+        assert_eq!(locks.len(), 2);
+        locks.rollback(mark);
+        assert_eq!(locks, baseline);
+        assert_eq!(locks.get(p), Some(Time::new(3)));
+        assert_eq!(locks.pinned_pe(p), None);
+        assert!(!locks.contains(q));
+
+        // Nested marks roll back in order.
+        let outer = locks.mark();
+        locks.insert(q, Time::new(1));
+        let inner = locks.mark();
+        locks.insert(q, Time::new(2));
+        locks.rollback(inner);
+        assert_eq!(locks.get(q), Some(Time::new(1)));
+        locks.rollback(outer);
+        assert_eq!(locks, baseline);
+
+        // Equality ignores journal history: a fresh set with the same
+        // content compares equal to one that mutated and rolled back.
+        let mut fresh = LockSet::for_graph(cpg);
+        fresh.insert(p, Time::new(3));
+        assert_eq!(locks, fresh);
+
+        // Clearing empties content and journal but keeps the slot space.
+        locks.clear();
+        assert!(locks.is_empty());
+        assert_eq!(locks.mark(), 0);
+        assert_eq!(locks, LockSet::for_graph(cpg));
+    }
+
+    #[test]
+    fn reschedule_into_reuses_buffers_and_matches_reschedule() {
+        let system = examples::fig1();
+        let tracks = enumerate_tracks(system.cpg());
+        let scheduler =
+            crate::ListScheduler::new(system.cpg(), system.arch(), system.broadcast_time());
+        let mut scratch = RunScratch::new();
+        let mut pooled = PathSchedule::default();
+        for track in tracks.iter() {
+            let ctx = scheduler.context(track);
+            let original = ctx.schedule_with(&mut scratch);
+            let mut locks = LockSet::for_graph(system.cpg());
+            if let Some(sj) = original.jobs().iter().find(|sj| sj.pe().is_some()) {
+                locks.insert(sj.job(), sj.start() + Time::new(3));
+            }
+            let fresh = ctx.reschedule_with(&mut RunScratch::new(), &original, &locks);
+            // The pooled schedule is rebuilt in place across every track and
+            // must match a freshly allocated one each time.
+            ctx.reschedule_into(&mut scratch, &original, &locks, &mut pooled);
+            assert_eq!(fresh, pooled, "reschedule_into diverged on {}", ctx.label());
+        }
     }
 
     #[test]

@@ -65,7 +65,7 @@ impl fmt::Display for SlippedLock {
 ///
 /// Produced by [`ListScheduler`](crate::ListScheduler); consumed by the
 /// schedule-merging algorithm of the `cpg-merge` crate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PathSchedule {
     label: Cube,
     jobs: Vec<ScheduledJob>,
@@ -116,33 +116,67 @@ impl PathSchedule {
         )
     }
 
+    #[cfg(any(test, feature = "test-util"))]
     pub(crate) fn new_detailed(
         label: Cube,
-        mut jobs: Vec<ScheduledJob>,
+        jobs: Vec<ScheduledJob>,
         delay: Time,
         resolutions: Vec<(CondId, Time)>,
         slipped: Vec<SlippedLock>,
         processes: usize,
         conditions: usize,
     ) -> Self {
-        jobs.sort_by_key(|j| (j.start(), j.end(), j.job()));
-        let mut index = vec![ABSENT; processes + conditions];
-        for (position, sj) in jobs.iter().enumerate() {
+        let mut schedule = PathSchedule::default();
+        schedule.rebuild_from_parts(
+            label,
+            delay,
+            processes,
+            conditions,
+            jobs.into_iter(),
+            resolutions.into_iter(),
+            &slipped,
+        );
+        schedule
+    }
+
+    /// Refills this schedule in place from the raw outputs of one scheduler
+    /// run, reusing the existing buffers. This is what makes the merge
+    /// algorithm's decision-tree walk allocation-free after warm-up: the walk
+    /// pools `PathSchedule`s and every adjustment rebuilds one through
+    /// [`TrackContext::reschedule_into`](crate::TrackContext::reschedule_into)
+    /// instead of allocating a fresh schedule.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn rebuild_from_parts(
+        &mut self,
+        label: Cube,
+        delay: Time,
+        processes: usize,
+        conditions: usize,
+        jobs: impl Iterator<Item = ScheduledJob>,
+        resolutions: impl Iterator<Item = (CondId, Time)>,
+        slipped: &[SlippedLock],
+    ) {
+        self.label = label;
+        self.delay = delay;
+        self.processes = processes;
+        self.jobs.clear();
+        self.jobs.extend(jobs);
+        self.jobs.sort_by_key(|j| (j.start(), j.end(), j.job()));
+        self.index.clear();
+        self.index.resize(processes + conditions, ABSENT);
+        for (position, sj) in self.jobs.iter().enumerate() {
             let slot = match sj.job() {
                 Job::Process(pid) => pid.index(),
                 Job::Broadcast(cond) => processes + cond.index(),
             };
-            index[slot] = position as u32;
+            self.index[slot] = position as u32;
         }
-        PathSchedule {
-            label,
-            jobs,
-            processes,
-            index,
-            delay,
-            resolutions,
-            slipped,
-        }
+        self.resolutions.clear();
+        self.resolutions.extend(resolutions);
+        self.resolutions
+            .sort_unstable_by_key(|&(cond, time)| (time, cond));
+        self.slipped.clear();
+        self.slipped.extend_from_slice(slipped);
     }
 
     /// The label `L_k` of the alternative path this schedule belongs to.

@@ -1,6 +1,5 @@
 //! The schedule table produced by the merging algorithm.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use cpg::{Assignment, Cpg, Cube, TrackSet};
@@ -21,6 +20,17 @@ use crate::error::TableViolation;
 struct Cell {
     time: Time,
     resource: Option<PeId>,
+}
+
+/// Sentinel for "job has no row yet" in the dense per-job row index.
+const ABSENT: u32 = u32::MAX;
+
+/// One row of the table: the job and its `(column index, cell)` entries,
+/// sorted by column index (the table-wide insertion order of the columns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Row {
+    job: Job,
+    entries: Vec<(u32, Cell)>,
 }
 
 /// The schedule table: one row per process (and per condition broadcast), one
@@ -50,11 +60,32 @@ struct Cell {
 /// assert_eq!(table.num_columns(), 2);
 /// assert_eq!(table.num_rows(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ScheduleTable {
     columns: Vec<Cube>,
-    rows: BTreeMap<Job, BTreeMap<usize, Cell>>,
+    /// Rows sorted by [`Job`], so iteration order matches the old map-based
+    /// representation; the dense indices below make row lookup O(1).
+    rows: Vec<Row>,
+    /// Process index -> position in `rows` ([`ABSENT`] when the process has
+    /// no row), grown on demand. The merge algorithm resolves every
+    /// `entries`/`entries_on` probe of its repair and locking loops through
+    /// this index, so it is a dense array rather than a search.
+    process_rows: Vec<u32>,
+    /// Condition index -> position in `rows` of the condition's broadcast
+    /// row, grown on demand.
+    broadcast_rows: Vec<u32>,
 }
+
+// The dense row indices are derived from `rows` (their length additionally
+// depends on the largest identifier ever probed), so equality compares the
+// observable table content only.
+impl PartialEq for ScheduleTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.columns == other.columns && self.rows == other.rows
+    }
+}
+
+impl Eq for ScheduleTable {}
 
 impl ScheduleTable {
     /// Creates an empty schedule table.
@@ -78,7 +109,7 @@ impl ScheduleTable {
     /// Total number of activation times stored in the table.
     #[must_use]
     pub fn num_entries(&self) -> usize {
-        self.rows.values().map(BTreeMap::len).sum()
+        self.rows.iter().map(|row| row.entries.len()).sum()
     }
 
     /// `true` when the table holds no activation time at all.
@@ -93,9 +124,64 @@ impl ScheduleTable {
         &self.columns
     }
 
-    /// Iterates over the rows (jobs) of the table.
+    /// Iterates over the rows (jobs) of the table, in ascending [`Job`]
+    /// order.
     pub fn jobs(&self) -> impl Iterator<Item = Job> + '_ {
-        self.rows.keys().copied()
+        self.rows.iter().map(|row| row.job)
+    }
+
+    /// The position of the row of `job` in the dense index, if the job has
+    /// one.
+    fn row_position(&self, job: Job) -> Option<usize> {
+        let (index, slot) = match job {
+            Job::Process(pid) => (&self.process_rows, pid.index()),
+            Job::Broadcast(cond) => (&self.broadcast_rows, cond.index()),
+        };
+        index
+            .get(slot)
+            .copied()
+            .filter(|&position| position != ABSENT)
+            .map(|position| position as usize)
+    }
+
+    fn row(&self, job: Job) -> Option<&Row> {
+        self.row_position(job).map(|position| &self.rows[position])
+    }
+
+    /// Points the dense index entry of `job` at `position` (growing the
+    /// index when the identifier is larger than anything seen so far).
+    fn index_row(&mut self, job: Job, position: u32) {
+        let (index, slot) = match job {
+            Job::Process(pid) => (&mut self.process_rows, pid.index()),
+            Job::Broadcast(cond) => (&mut self.broadcast_rows, cond.index()),
+        };
+        if index.len() <= slot {
+            index.resize(slot + 1, ABSENT);
+        }
+        index[slot] = position;
+    }
+
+    /// The position of the row of `job`, inserting an empty row (keeping
+    /// `rows` sorted by job and the dense indices consistent) when absent.
+    fn row_position_or_insert(&mut self, job: Job) -> usize {
+        if let Some(position) = self.row_position(job) {
+            return position;
+        }
+        let position = self.rows.partition_point(|row| row.job < job);
+        self.rows.insert(
+            position,
+            Row {
+                job,
+                entries: Vec::new(),
+            },
+        );
+        // Rows after the insertion point shifted by one; re-point their
+        // index entries. Rows are inserted once per job, so this stays cheap.
+        for shifted in position..self.rows.len() {
+            let shifted_job = self.rows[shifted].job;
+            self.index_row(shifted_job, shifted as u32);
+        }
+        position
     }
 
     /// Records the activation time of `job` in the column headed by `column`,
@@ -121,31 +207,55 @@ impl ScheduleTable {
         time: Time,
         resource: Option<PeId>,
     ) -> Option<Time> {
-        let index = self.column_index_or_insert(column);
-        self.rows
-            .entry(job)
-            .or_default()
-            .insert(index, Cell { time, resource })
-            .map(|cell| cell.time)
+        let index = self.column_index_or_insert(column) as u32;
+        let position = self.row_position_or_insert(job);
+        let entries = &mut self.rows[position].entries;
+        match entries.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(at) => {
+                let previous = std::mem::replace(&mut entries[at].1, Cell { time, resource });
+                Some(previous.time)
+            }
+            Err(at) => {
+                entries.insert(at, (index, Cell { time, resource }));
+                None
+            }
+        }
     }
 
     /// Removes the activation time of `job` in the column headed by `column`,
     /// returning it if it was present.
     pub fn remove(&mut self, job: Job, column: &Cube) -> Option<Time> {
-        let index = self.column_index(column)?;
-        let times = self.rows.get_mut(&job)?;
-        let removed = times.remove(&index);
-        if times.is_empty() {
-            self.rows.remove(&job);
+        let index = self.column_index(column)? as u32;
+        let position = self.row_position(job)?;
+        let entries = &mut self.rows[position].entries;
+        let at = entries.binary_search_by_key(&index, |&(i, _)| i).ok()?;
+        let (_, cell) = entries.remove(at);
+        if entries.is_empty() {
+            self.rows.remove(position);
+            self.index_row(job, ABSENT);
+            for shifted in position..self.rows.len() {
+                let shifted_job = self.rows[shifted].job;
+                self.index_row(shifted_job, shifted as u32);
+            }
         }
-        removed.map(|cell| cell.time)
+        Some(cell.time)
+    }
+
+    /// The cell of `job` under the exact column index, if present.
+    fn cell(&self, job: Job, index: usize) -> Option<&Cell> {
+        let row = self.row(job)?;
+        let at = row
+            .entries
+            .binary_search_by_key(&(index as u32), |&(i, _)| i)
+            .ok()?;
+        Some(&row.entries[at].1)
     }
 
     /// The activation time of `job` in the column headed exactly by `column`.
     #[must_use]
     pub fn get(&self, job: Job, column: &Cube) -> Option<Time> {
         let index = self.column_index(column)?;
-        self.rows.get(&job)?.get(&index).map(|cell| cell.time)
+        self.cell(job, index).map(|cell| cell.time)
     }
 
     /// The resource recorded for `job` in the column headed exactly by
@@ -153,10 +263,7 @@ impl ScheduleTable {
     #[must_use]
     pub fn resource(&self, job: Job, column: &Cube) -> Option<PeId> {
         let index = self.column_index(column)?;
-        self.rows
-            .get(&job)?
-            .get(&index)
-            .and_then(|cell| cell.resource)
+        self.cell(job, index).and_then(|cell| cell.resource)
     }
 
     /// Iterates over the `(column, activation time)` entries of a row.
@@ -165,12 +272,13 @@ impl ScheduleTable {
     }
 
     /// Iterates over the `(column, activation time, recorded resource)`
-    /// entries of a row.
+    /// entries of a row. The row is resolved through the dense per-job
+    /// index, so probing a job is O(1) plus the iteration itself.
     pub fn entries_on(&self, job: Job) -> impl Iterator<Item = (Cube, Time, Option<PeId>)> + '_ {
-        self.rows.get(&job).into_iter().flat_map(move |times| {
-            times
+        self.row(job).into_iter().flat_map(move |row| {
+            row.entries
                 .iter()
-                .map(|(&i, cell)| (self.columns[i], cell.time, cell.resource))
+                .map(|&(i, cell)| (self.columns[i as usize], cell.time, cell.resource))
         })
     }
 
@@ -183,17 +291,17 @@ impl ScheduleTable {
     /// Iterates over every `(job, column, time, recorded resource)` entry of
     /// the table.
     pub fn all_entries_on(&self) -> impl Iterator<Item = (Job, Cube, Time, Option<PeId>)> + '_ {
-        self.rows.iter().flat_map(move |(&job, times)| {
-            times
-                .iter()
-                .map(move |(&i, cell)| (job, self.columns[i], cell.time, cell.resource))
+        self.rows.iter().flat_map(move |row| {
+            row.entries.iter().map(move |&(i, cell)| {
+                (row.job, self.columns[i as usize], cell.time, cell.resource)
+            })
         })
     }
 
     /// `true` when the row for `job` contains at least one activation time.
     #[must_use]
     pub fn contains_job(&self, job: Job) -> bool {
-        self.rows.contains_key(&job)
+        self.row_position(job).is_some()
     }
 
     /// The entries of a row that are *compatible* with (not excluded by) the
@@ -270,7 +378,7 @@ impl ScheduleTable {
     pub fn track_delay(&self, cpg: &Cpg, label: &Cube) -> Time {
         let assignment = Assignment::from_cube(label);
         let mut delay = Time::ZERO;
-        for &job in self.rows.keys() {
+        for job in self.jobs() {
             let Job::Process(pid) = job else { continue };
             if !cpg.guard(pid).implied_by(label) {
                 continue;
@@ -337,7 +445,7 @@ impl ScheduleTable {
         }
 
         // Requirement 2.
-        for &job in self.rows.keys() {
+        for job in self.jobs() {
             let entries: Vec<(Cube, Time)> = self.entries(job).collect();
             for (i, &(first, first_time)) in entries.iter().enumerate() {
                 for &(second, second_time) in entries.iter().skip(i + 1) {
@@ -407,7 +515,7 @@ impl ScheduleTable {
         let mut table_rows: Vec<Vec<String>> = vec![header];
 
         // Ordinary and communication processes first (by id), then broadcasts.
-        let mut jobs: Vec<Job> = self.rows.keys().copied().collect();
+        let mut jobs: Vec<Job> = self.jobs().collect();
         jobs.sort_by_key(|job| match job {
             Job::Process(pid) => (0, pid.index()),
             Job::Broadcast(cond) => (1, cond.index()),
@@ -416,9 +524,7 @@ impl ScheduleTable {
             let mut row = vec![job_name(job)];
             for &(index, _) in &columns {
                 let cell = self
-                    .rows
-                    .get(&job)
-                    .and_then(|times| times.get(&index))
+                    .cell(job, index)
                     .map_or(String::new(), |cell| cell.time.to_string());
                 row.push(cell);
             }

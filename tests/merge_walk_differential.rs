@@ -1,0 +1,177 @@
+//! Differential test of the undo-log decision-tree walk against the
+//! clone-per-node recursive walk it replaced.
+//!
+//! The undo-log walk (`Merger::walk_undo_log`) shares one `Assignment` and
+//! one journalled `LockSet` per back-step branch along the tree path and
+//! rebuilds pooled `PathSchedule`s in place, instead of cloning all three at
+//! every node. None of that is allowed to change a single decision: the
+//! original recursion is kept behind the `test-util` feature
+//! (`generate_schedule_table_cloning`) and the produced `MergeResult` —
+//! table cells with recorded resources, per-path schedules, slips, decision
+//! steps, counters and delays — must be bit-identical over random systems,
+//! for every thread count of the surrounding parallel phases, and on
+//! systems that force the slip-repair loop.
+
+use proptest::prelude::*;
+
+use cps::merge::{generate_schedule_table_cloning, MergeStats};
+use cps::prelude::*;
+
+/// Generator configurations spanning conditional structure and architecture
+/// shape; kept close to `tests/parallel_merge.rs` so the suites explore the
+/// same system space, with a bias towards deep condition nests (many paths
+/// over few processes) where the walk dominates.
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        12usize..40,
+        2usize..10,
+        1usize..5,
+        1usize..4,
+        any::<u64>(),
+        prop::bool::ANY,
+    )
+        .prop_map(|(nodes, paths, processors, buses, seed, exponential)| {
+            let distribution = if exponential {
+                cps::gen::ExecTimeDistribution::Exponential { mean: 7.0 }
+            } else {
+                cps::gen::ExecTimeDistribution::Uniform { min: 1, max: 15 }
+            };
+            GeneratorConfig::new(nodes.max(3 * paths), paths)
+                .with_processors(processors)
+                .with_buses(buses)
+                .with_distribution(distribution)
+                .with_seed(seed)
+        })
+}
+
+/// Field-wise equality of two merge results (`MergeResult` deliberately does
+/// not implement `PartialEq`; comparing the pieces gives usable failure
+/// messages).
+fn assert_results_identical(
+    oracle: &MergeResult,
+    undo: &MergeResult,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert!(oracle.table() == undo.table(), "table diverged ({context})");
+    prop_assert_eq!(oracle.tracks(), undo.tracks());
+    prop_assert!(
+        oracle.path_schedules() == undo.path_schedules(),
+        "path schedules diverged ({context})"
+    );
+    prop_assert_eq!(oracle.delta_m(), undo.delta_m());
+    prop_assert_eq!(oracle.delta_max(), undo.delta_max());
+    prop_assert_eq!(oracle.steps(), undo.steps());
+    let (oracle_stats, undo_stats): (MergeStats, MergeStats) = (oracle.stats(), undo.stats());
+    prop_assert!(
+        oracle_stats == undo_stats,
+        "stats diverged ({context}): {oracle_stats:?} vs {undo_stats:?}"
+    );
+    Ok(())
+}
+
+proptest! {
+    // Pinned case count and shrink budget: CI runs must be deterministic and
+    // fast regardless of PROPTEST_CASES / PROPTEST_MAX_SHRINK_ITERS in the
+    // environment.
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn undo_log_walk_matches_the_cloning_oracle(config in config_strategy()) {
+        let system = generate(&config);
+        let cpg = system.cpg();
+        let arch = system.arch();
+        let base = MergeConfig::new(system.broadcast_time());
+
+        // The oracle runs fully serial; the walk itself is serial in both
+        // implementations, so the clone-based result is the reference for
+        // every thread count of the parallel phases around the walk.
+        let oracle = generate_schedule_table_cloning(cpg, arch, &base.with_threads(1));
+        oracle.table().verify(cpg, oracle.tracks()).expect("oracle table is correct");
+
+        for threads in [1usize, 2, 4] {
+            let undo = generate_schedule_table(cpg, arch, &base.with_threads(threads));
+            assert_results_identical(&oracle, &undo, &format!("{threads} threads"))?;
+        }
+    }
+
+    #[test]
+    fn undo_log_walk_matches_the_oracle_under_every_selection_policy(
+        config in config_strategy(),
+    ) {
+        // The back-step track re-selection is where the undo-log walk reads
+        // the shared `Assignment` after rolling it back, so exercise every
+        // policy that consumes it.
+        let system = generate(&config);
+        let cpg = system.cpg();
+        let arch = system.arch();
+        for policy in [
+            SelectionPolicy::ShortestDelayFirst,
+            SelectionPolicy::EnumerationOrder,
+        ] {
+            let base = MergeConfig::new(system.broadcast_time()).with_selection(policy);
+            let oracle = generate_schedule_table_cloning(cpg, arch, &base.with_threads(1));
+            let undo = generate_schedule_table(cpg, arch, &base.with_threads(2));
+            assert_results_identical(&oracle, &undo, &format!("{policy:?}"))?;
+        }
+    }
+}
+
+/// Crafted system where an inherited lock *must* slip (the same shape as the
+/// regression test in `cpg-merge`): `victim` runs early on the longest path,
+/// but on the opposite branch it additionally consumes the output of `slow`,
+/// so the tabled early time is unreachable there and the merge has to drive
+/// the Theorem-2 slip-repair loop — the walk path where the undo-log
+/// machinery (journalled locks, pooled schedules, reused repair buffers) is
+/// under the most pressure.
+fn slipping_system() -> (Architecture, Cpg) {
+    let arch = Architecture::builder()
+        .processor("cpu0")
+        .processor("cpu1")
+        .bus("bus")
+        .build()
+        .unwrap();
+    let cpu0 = arch.pe_by_name("cpu0").unwrap();
+    let cpu1 = arch.pe_by_name("cpu1").unwrap();
+    let mut b = CpgBuilder::new();
+    let c = b.condition("C");
+    let root = b.process("root", Time::new(10), cpu0);
+    let quick = b.process("quick", Time::new(1), cpu1);
+    let victim = b.process("victim", Time::new(2), cpu1);
+    let slow = b.process("slow", Time::new(3), cpu1);
+    let tail = b.process("tail", Time::new(20), cpu0);
+    b.simple_edge(quick, victim, Time::ZERO);
+    b.conditional_edge(root, slow, c.is_false(), Time::ZERO);
+    b.conditional_edge(root, tail, c.is_true(), Time::ZERO);
+    b.simple_edge(slow, victim, Time::ZERO);
+    b.mark_conjunction(victim);
+    let cpg = b.build(&arch).unwrap();
+    (arch, cpg)
+}
+
+#[test]
+fn undo_log_walk_matches_the_oracle_on_a_slip_forcing_system() {
+    let (arch, cpg) = slipping_system();
+    let config = MergeConfig::new(Time::new(2));
+    let oracle = generate_schedule_table_cloning(&cpg, &arch, &config.with_threads(1));
+    assert!(
+        oracle.stats().slip_repairs > 0,
+        "the crafted lock never slipped: {:?}",
+        oracle.stats()
+    );
+    for threads in [1usize, 2, 4] {
+        let undo = generate_schedule_table(&cpg, &arch, &config.with_threads(threads));
+        assert_eq!(
+            oracle.table(),
+            undo.table(),
+            "table diverged at {threads} threads"
+        );
+        assert_eq!(oracle.path_schedules(), undo.path_schedules());
+        assert_eq!(oracle.steps(), undo.steps());
+        assert_eq!(oracle.stats(), undo.stats());
+        assert_eq!(oracle.delta_max(), undo.delta_max());
+    }
+}

@@ -26,6 +26,17 @@
 //! * **No spawn below two.** `threads <= 1`, an empty input, or a single item
 //!   run the plain serial loop on the calling thread: callers can hardwire
 //!   "1 forces the serial path" without a special case.
+//! * **Cost-aware ordering.** [`map_with_cost`] additionally takes a cost
+//!   estimate per item and hands the items to the workers largest-first
+//!   (classic LPT order), so one giant item drawn late cannot serialize the
+//!   tail behind a fleet of cheap ones. The reduction is still by input
+//!   index, so the result is bit-identical to [`map_with`].
+//! * **Nested-pool policy.** A worker thread marks itself; any `fj` call
+//!   made *from inside a worker* runs serially on that worker instead of
+//!   spawning a second pool level. An outer fan-out over independent tasks
+//!   (e.g. whole systems) therefore composes with inner fan-outs (e.g. the
+//!   tracks of each system's merge) without oversubscribing the machine —
+//!   and without the inner caller having to know it is nested.
 //!
 //! Worker panics are joined and re-raised on the calling thread
 //! (`std::thread::scope` additionally guarantees no worker outlives the
@@ -54,8 +65,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+std::thread_local! {
+    /// `true` on threads spawned as pool workers by this crate — the flag
+    /// behind the nested-pool policy (see [`in_worker`]).
+    static POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` when the current thread is an `fj` pool worker. Any `map`/
+/// `map_with`/`map_with_cost` call made while this holds runs serially on
+/// the calling worker instead of spawning a nested pool: the outer fan-out
+/// already owns the machine's cores, so a second level would only
+/// oversubscribe them.
+#[must_use]
+pub fn in_worker() -> bool {
+    POOL_WORKER.with(Cell::get)
+}
 
 /// The number of hardware threads available to this process, as reported by
 /// [`std::thread::available_parallelism`]; `1` when the platform cannot tell.
@@ -81,8 +109,9 @@ where
 /// `init()` and threads it mutably through every `f(&mut state, index, item)`
 /// call it executes. Results come back in input order for any thread count.
 ///
-/// `threads <= 1` (and inputs of at most one item) run serially on the
-/// calling thread with a single `init()` state and never spawn.
+/// `threads <= 1`, inputs of at most one item, and calls made from inside an
+/// `fj` worker (the nested-pool policy, see [`in_worker`]) run serially on
+/// the calling thread with a single `init()` state and never spawn.
 pub fn map_with<T, S, R, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
 where
     T: Sync,
@@ -90,7 +119,7 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &T) -> R + Sync,
 {
-    let threads = threads.min(items.len()).max(1);
+    let threads = effective_threads(threads, items.len());
     if threads <= 1 {
         let mut state = init();
         return items
@@ -103,22 +132,111 @@ where
     // Small chunks keep the queue balanced when items have skewed costs;
     // aiming for ~4 draws per worker bounds the cursor contention.
     let chunk = (items.len() / (threads * 4)).max(1);
+    pool_run(
+        threads,
+        items.len(),
+        init,
+        |state, index| {
+            let item = &items[index];
+            f(state, index, item)
+        },
+        chunk,
+        None,
+    )
+}
+
+/// [`map_with`], but with a cost estimate per item: the items are handed to
+/// the workers in descending `cost(index, item)` order (ties by index), the
+/// classic longest-processing-time heuristic. With heavily skewed costs —
+/// one giant item among many tiny ones — this keeps every worker busy until
+/// the end instead of letting the giant serialize the tail. The reduction is
+/// still by input index, so for a pure `f` the result is bit-identical to
+/// [`map_with`] for any thread count.
+///
+/// The serial paths (`threads <= 1`, at most one item, nested call from a
+/// worker) iterate in plain input order — the order only affects wall-clock,
+/// never the result.
+pub fn map_with_cost<T, S, R, I, F, C>(
+    threads: usize,
+    items: &[T],
+    cost: C,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+    C: Fn(usize, &T) -> u64,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(index, item)| f(&mut state, index, item))
+            .collect();
+    }
+
+    let mut order: Vec<u32> = (0..items.len() as u32).collect();
+    // Cached key: the caller's cost estimate runs exactly once per item.
+    order.sort_by_cached_key(|&index| {
+        (
+            std::cmp::Reverse(cost(index as usize, &items[index as usize])),
+            index,
+        )
+    });
+    // Draw one item at a time: LPT only helps if the giant items really go
+    // out first, and the per-draw cursor bump is negligible against items
+    // worth cost-ordering in the first place.
+    pool_run(
+        threads,
+        items.len(),
+        init,
+        |state, index| f(state, index, &items[index]),
+        1,
+        Some(&order),
+    )
+}
+
+/// Shared worker-pool core of [`map_with`] and [`map_with_cost`]: spawn
+/// `threads` marked workers, let them pull half-open ranges of *draw
+/// positions* off a shared cursor, run `produce(state, index)` for each
+/// (`order` maps draw positions to input indices, `None` = identity), and
+/// place every result into its input slot.
+fn pool_run<S, R, I, P>(
+    threads: usize,
+    len: usize,
+    init: I,
+    produce: P,
+    chunk: usize,
+    order: Option<&[u32]>,
+) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    P: Fn(&mut S, usize) -> R + Sync,
+{
     let cursor = AtomicUsize::new(0);
 
     let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    POOL_WORKER.with(|flag| flag.set(true));
                     let mut state = init();
                     let mut produced = Vec::new();
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= items.len() {
+                        if start >= len {
                             break;
                         }
-                        let end = (start + chunk).min(items.len());
-                        for (index, item) in (start..end).zip(&items[start..end]) {
-                            produced.push((index, f(&mut state, index, item)));
+                        let end = (start + chunk).min(len);
+                        for position in start..end {
+                            let index = order.map_or(position, |o| o[position] as usize);
+                            produced.push((index, produce(&mut state, index)));
                         }
                     }
                     produced
@@ -136,8 +254,8 @@ where
     });
 
     // Deterministic reduction: place every tagged result into its input slot.
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
-    slots.resize_with(items.len(), || None);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
+    slots.resize_with(len, || None);
     for (index, result) in buckets.into_iter().flatten() {
         debug_assert!(slots[index].is_none(), "index {index} produced twice");
         slots[index] = Some(result);
@@ -146,6 +264,16 @@ where
         .into_iter()
         .map(|slot| slot.expect("every index is drawn from the queue exactly once"))
         .collect()
+}
+
+/// The worker count a call will actually fan out to: clamped to the item
+/// count, at least one, and forced to one inside an existing worker (the
+/// nested-pool policy).
+fn effective_threads(threads: usize, items: usize) -> usize {
+    if in_worker() {
+        return 1;
+    }
+    threads.min(items).max(1)
 }
 
 #[cfg(test)]
@@ -195,6 +323,92 @@ mod tests {
             assert_eq!(x as usize, i);
             assert!(seen >= 1);
         }
+    }
+
+    #[test]
+    fn cost_ordered_map_is_bit_identical_to_unordered() {
+        // Heavily skewed synthetic costs, including ties: whatever order the
+        // workers draw, the reduction by input index must reproduce the
+        // plain map exactly.
+        let items: Vec<u64> = (0..137).map(|i| (i * 37) % 11).collect();
+        let expected = map_with(
+            1,
+            &items,
+            || 0u64,
+            |acc, i, &x| {
+                *acc += 1;
+                x * 3 + i as u64
+            },
+        );
+        for threads in [1, 2, 3, 4, 8, 200] {
+            let ordered = map_with_cost(
+                threads,
+                &items,
+                |_, &x| x, // cost = value, many ties
+                || 0u64,
+                |acc, i, &x| {
+                    *acc += 1;
+                    x * 3 + i as u64
+                },
+            );
+            assert_eq!(ordered, expected, "diverged at {threads} threads");
+            let unordered = map_with(
+                threads,
+                &items,
+                || 0u64,
+                |acc, i, &x| {
+                    *acc += 1;
+                    x * 3 + i as u64
+                },
+            );
+            assert_eq!(
+                unordered, expected,
+                "map_with diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_call_from_a_worker_never_spawns() {
+        use std::thread::ThreadId;
+        // Outer pool with 4 workers; each item runs an inner map that
+        // records the thread every inner item executed on. The nested-pool
+        // policy must collapse the inner call onto the calling worker.
+        let outer: Vec<u32> = (0..16).collect();
+        let reports: Vec<(ThreadId, Vec<ThreadId>, bool)> = map(4, &outer, |_, &x| {
+            assert!(in_worker(), "outer closure must run on a marked worker");
+            let inner: Vec<u32> = (0..x + 2).collect();
+            let inner_threads = map(8, &inner, |_, _| std::thread::current().id());
+            (std::thread::current().id(), inner_threads, in_worker())
+        });
+        for (worker, inner_threads, still_marked) in reports {
+            assert!(still_marked, "worker flag must survive a nested call");
+            for inner in inner_threads {
+                assert_eq!(inner, worker, "nested map spawned a worker thread");
+            }
+        }
+        // Back on the calling thread the flag is off, so top-level calls
+        // keep fanning out.
+        assert!(!in_worker());
+    }
+
+    #[test]
+    fn nested_cost_aware_call_from_a_worker_never_spawns() {
+        let outer: Vec<u32> = (0..8).collect();
+        let ok = map(3, &outer, |_, &x| {
+            let inner: Vec<u32> = (0..x + 2).collect();
+            let me = std::thread::current().id();
+            map_with_cost(
+                8,
+                &inner,
+                |_, &v| v as u64,
+                || (),
+                |(), _, _| std::thread::current().id() == me,
+            )
+            .into_iter()
+            .all(|on_worker| on_worker)
+        });
+        assert!(ok.into_iter().all(|b| b));
     }
 
     #[test]
