@@ -14,6 +14,11 @@
 //!   against pre-parallelism baselines such as `BENCH_2.json` and catches a
 //!   scratch-reuse regression that extra cores would mask. This group is
 //!   gated by `bench_guard`.
+//!
+//! The deep-condition-nest walk trajectory is measured twice as well:
+//! `merge_walk/*` pinned to one thread (gated) and `merge_walk_par/*` at
+//! four threads — the speculative transactional walk, reported for
+//! information only (its median depends on the runner's core count).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -55,8 +60,8 @@ fn bench_group(c: &mut Criterion, group_name: &str, threads: usize) {
 /// wide `schedule_merging/*` configurations notice.
 const WALK_DEPTHS: [usize; 3] = [16, 24, 32];
 
-fn merge_walk(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merge_walk");
+fn merge_walk_group(c: &mut Criterion, group_name: &str, threads: usize) {
+    let mut group = c.benchmark_group(group_name);
     group.sample_size(10);
     for &paths in &WALK_DEPTHS {
         let config = GeneratorConfig::new(3 * paths, paths)
@@ -64,10 +69,11 @@ fn merge_walk(c: &mut Criterion) {
             .with_buses(1)
             .with_seed(0xDEE9 + paths as u64);
         let system = generate(&config);
-        // One thread: the walk is serial by construction; pinning the
-        // parallel phases too keeps the median core-count-independent, so
-        // the group can be gated like schedule_merging_serial/*.
-        let merge_config = MergeConfig::new(system.broadcast_time()).with_threads(1);
+        // At one thread the walk is fully serial and the median is
+        // core-count-independent, so that group can be gated like
+        // schedule_merging_serial/*; larger counts run the speculative
+        // transactional walk on the same systems (info-only).
+        let merge_config = MergeConfig::new(system.broadcast_time()).with_threads(threads);
         group.bench_with_input(BenchmarkId::from_parameter(paths), &system, |b, system| {
             b.iter(|| generate_schedule_table(system.cpg(), system.arch(), &merge_config))
         });
@@ -79,7 +85,8 @@ fn merge_time(c: &mut Criterion) {
     // 0 = the automatic choice (available parallelism).
     bench_group(c, "schedule_merging", 0);
     bench_group(c, "schedule_merging_serial", 1);
-    merge_walk(c);
+    merge_walk_group(c, "merge_walk", 1);
+    merge_walk_group(c, "merge_walk_par", 4);
 }
 
 criterion_group!(benches, merge_time);

@@ -3,12 +3,18 @@
 //!
 //! Compares a fresh criterion-shim measurement (the JSON-lines file produced
 //! by running `cargo bench` with `CRITERION_JSON=<path>`) against a committed
-//! baseline (`BENCH_4.json`) and fails when any gated median
+//! baseline (`BENCH_5.json`) and fails when any gated median
 //! (`schedule_merging_serial/*` and `merge_walk/*` — the one-thread-pinned
 //! merge trajectories, whose cost is core-count-independent) regresses by
 //! more than the allowed percentage; the default-parallelism
-//! `schedule_merging/*` group is reported for information (see
-//! `GATED_PREFIXES`).
+//! `schedule_merging/*` and speculative-walk `merge_walk_par/*` groups are
+//! reported for information (see `GATED_PREFIXES`).
+//!
+//! A gated group must be *present* on both sides: a gated prefix with no row
+//! in the current measurement means the bench run was misconfigured, and one
+//! with no row in the baseline means the baseline predates the group — both
+//! fail hard instead of silently gating nothing (a renamed or dropped gated
+//! group used to pass the guard without measuring anything).
 //!
 //! When both files contain the `calibration/spin` benchmark (a fixed integer
 //! workload that never changes with the scheduler code, see
@@ -24,11 +30,20 @@
 //! spin degrades to comparing absolute nanoseconds (the pre-calibration
 //! behaviour, needed for old baselines such as `BENCH_1.json`).
 //!
+//! A gated row *fails* only when it is beyond the threshold under **both**
+//! probes' scales: a genuine code regression reproduces under either
+//! normalization (the two scales differ only by machine factors), while a
+//! row that regresses under exactly one probe is a machine-profile shift —
+//! a runner whose memory is slower relative to its ALU than the recording
+//! machine's inflates every memory-touching median in a way the
+//! compute-only spin scale cannot correct (and vice versa). Such rows pass
+//! with an `ok (shift)` verdict and a stderr warning.
+//!
 //! ```text
 //! CRITERION_JSON=bench_current.json cargo bench --bench calibration \
 //!     --bench merge_time --bench path_schedule_time
 //! cargo run --release -p cpg-bench --bin bench_guard -- \
-//!     --baseline BENCH_4.json --current bench_current.json
+//!     --baseline BENCH_5.json --current bench_current.json
 //! ```
 //!
 //! `--emit <path> --label <name>` additionally writes the current
@@ -46,12 +61,13 @@ use std::process::ExitCode;
 /// for information only. Only the one-thread-pinned groups are gated — the
 /// full serial merge trajectory and the deep-condition-nest walk trajectory
 /// (`merge_walk/`, where the sequential decision-tree walk dominates): the
-/// default-parallelism `schedule_merging/` group scales with the runner's
-/// core count, which neither calibration probe (both single-threaded) can
-/// normalize out — gating it would fail spuriously on any runner with fewer
-/// cores than the baseline machine, exactly the hardware dependence the
-/// calibration exists to prevent. The parallel medians are still measured,
-/// reported and recorded in every baseline.
+/// default-parallelism `schedule_merging/` group and the speculative
+/// `merge_walk_par/` group scale with the runner's core count, which neither
+/// calibration probe (both single-threaded) can normalize out — gating them
+/// would fail spuriously on any runner with fewer cores than the baseline
+/// machine, exactly the hardware dependence the calibration exists to
+/// prevent. The parallel medians are still measured, reported and recorded
+/// in every baseline.
 const GATED_PREFIXES: &[&str] = &["schedule_merging_serial/", "merge_walk/"];
 
 /// The code-stable compute-bound calibration benchmark used to normalize out
@@ -78,8 +94,196 @@ fn matches_any(name: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|prefix| name.starts_with(prefix))
 }
 
+/// The outcome of comparing a current measurement against a baseline:
+/// everything the binary prints, separated by stream, plus the verdict.
+#[derive(Debug, Default)]
+struct GateReport {
+    /// Human-readable comparison table and calibration lines (stdout).
+    lines: Vec<String>,
+    /// Warnings and failure explanations (stderr).
+    complaints: Vec<String>,
+    /// Number of gate failures; non-zero fails the run.
+    failures: usize,
+}
+
+impl GateReport {
+    fn fail(&mut self, message: String) {
+        self.complaints.push(message);
+        self.failures += 1;
+    }
+}
+
+/// The entire comparison logic of the guard, pure over the parsed
+/// measurement rows so the gating rules are unit-testable: resolves the
+/// calibration scales, requires every gated prefix to be populated on *both*
+/// sides, and flags every gated median that regressed beyond
+/// [`ALLOWED_REGRESSION_PERCENT`] or went missing.
+fn run_gate(baseline: &[(String, f64)], current: &[(String, f64)]) -> GateReport {
+    let mut report = GateReport::default();
+
+    // A gated prefix with no row on a side means nothing under it can be
+    // compared: the guard would "pass" while gating nothing. Fail loudly —
+    // an absent group is a misconfigured bench run (current side) or a
+    // baseline that predates the group and must be re-recorded (baseline
+    // side).
+    for prefix in GATED_PREFIXES {
+        if !baseline.iter().any(|(n, _)| matches_any(n, &[prefix])) {
+            report.fail(format!(
+                "gated prefix \"{prefix}\" has no benchmarks in the baseline; \
+                 re-record the baseline with --emit so the group is gated"
+            ));
+        }
+        if !current.iter().any(|(n, _)| matches_any(n, &[prefix])) {
+            report.fail(format!(
+                "gated prefix \"{prefix}\" has no benchmarks in the current \
+                 measurement; run cargo bench with the benches that produce it"
+            ));
+        }
+    }
+
+    // Machine scales: how much slower (or faster) this run's hardware is
+    // than the machine that recorded the baseline, measured by the
+    // code-stable calibration benchmarks present in both files — one probe
+    // for compute speed, one for memory latency.
+    let calibration_of = |rows: &[(String, f64)], name: &str| {
+        rows.iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, m)| m)
+            .filter(|&m| m > 0.0)
+    };
+    let scale = match (
+        calibration_of(baseline, CALIBRATION_BENCH),
+        calibration_of(current, CALIBRATION_BENCH),
+    ) {
+        (Some(base_cal), Some(current_cal)) => {
+            let scale = current_cal / base_cal;
+            report.lines.push(format!(
+                "calibration ({CALIBRATION_BENCH}): baseline {base_cal:.0} ns, \
+                 current {current_cal:.0} ns -> compute scale {scale:.3}"
+            ));
+            scale
+        }
+        (Some(_), None) => {
+            // The baseline was recorded with calibration, so comparing raw
+            // nanoseconds against it would bring back exactly the
+            // machine-dependent failures the calibration exists to prevent:
+            // the current run is misconfigured (it did not include
+            // `--bench calibration`).
+            report.fail(format!(
+                "\"{CALIBRATION_BENCH}\" is in the baseline but missing from the \
+                 current measurement; run cargo bench with --bench calibration"
+            ));
+            return report;
+        }
+        (None, _) => {
+            report.complaints.push(format!(
+                "warning: \"{CALIBRATION_BENCH}\" missing from the baseline; \
+                 comparing absolute (machine-dependent) nanoseconds"
+            ));
+            1.0
+        }
+    };
+    let mem_scale = match (
+        calibration_of(baseline, MEM_CALIBRATION_BENCH),
+        calibration_of(current, MEM_CALIBRATION_BENCH),
+    ) {
+        (Some(base_cal), Some(current_cal)) => {
+            let mem_scale = current_cal / base_cal;
+            report.lines.push(format!(
+                "calibration ({MEM_CALIBRATION_BENCH}): baseline {base_cal:.0} ns, \
+                 current {current_cal:.0} ns -> memory scale {mem_scale:.3}"
+            ));
+            Some(mem_scale)
+        }
+        (Some(_), None) => {
+            report.fail(format!(
+                "\"{MEM_CALIBRATION_BENCH}\" is in the baseline but missing from the \
+                 current measurement; run cargo bench with --bench calibration"
+            ));
+            return report;
+        }
+        (None, _) => {
+            // Pre-chase baselines (BENCH_2 and older): memory-sensitive
+            // benches degrade to the compute scale instead of failing.
+            report.complaints.push(format!(
+                "warning: \"{MEM_CALIBRATION_BENCH}\" missing from the baseline; \
+                 normalizing memory-sensitive benches by the compute scale"
+            ));
+            None
+        }
+    };
+
+    report.lines.push(format!(
+        "{:<36} {:>14} {:>14} {:>9}  gate",
+        "benchmark", "baseline (ns)", "normalized (ns)", "change"
+    ));
+    for (name, base_median) in baseline {
+        if name == CALIBRATION_BENCH || name == MEM_CALIBRATION_BENCH {
+            continue;
+        }
+        let Some((_, current_median)) = current.iter().find(|(n, _)| n == name) else {
+            report.lines.push(format!(
+                "{name:<36} {base_median:>14.0} {:>14} {:>9}  MISSING",
+                "-", "-"
+            ));
+            if matches_any(name, GATED_PREFIXES) {
+                report.failures += 1;
+            }
+            continue;
+        };
+        let mem_sensitive = matches_any(name, MEM_SENSITIVE_PREFIXES);
+        let row_scale = if mem_sensitive {
+            mem_scale.unwrap_or(scale)
+        } else {
+            scale
+        };
+        let change_under =
+            |scale: f64| (current_median / scale - base_median) / base_median * 100.0;
+        let normalized = current_median / row_scale;
+        let change = change_under(row_scale);
+        // A genuine code regression reproduces under *both* calibration
+        // models (the scales differ only by machine factors), so a gated row
+        // fails only when it is beyond the threshold under its primary probe
+        // AND under the other one. A row beyond the threshold under exactly
+        // one model is a machine-profile shift — e.g. a runner whose memory
+        // is much slower relative to its ALU than the baseline machine's
+        // inflates every memory-heavy median that spin-normalization cannot
+        // correct — and passes with a warning instead of failing spuriously.
+        let other_scale = if mem_sensitive {
+            Some(scale)
+        } else {
+            mem_scale
+        };
+        let over = change > ALLOWED_REGRESSION_PERCENT;
+        let over_everywhere =
+            over && other_scale.is_none_or(|s| change_under(s) > ALLOWED_REGRESSION_PERCENT);
+        let gated = matches_any(name, GATED_PREFIXES);
+        let verdict = match (gated, over, over_everywhere) {
+            (false, ..) if mem_sensitive && mem_scale.is_some() => "info (mem)",
+            (false, ..) => "info",
+            (true, _, true) => {
+                report.failures += 1;
+                "FAIL"
+            }
+            (true, true, false) => {
+                report.complaints.push(format!(
+                    "warning: {name} regressed {change:+.1}% under its primary \
+                     calibration probe but not under the other one; treating the \
+                     difference as a machine-profile shift, not a code regression"
+                ));
+                "ok (shift)"
+            }
+            (true, false, _) => "ok",
+        };
+        report.lines.push(format!(
+            "{name:<36} {base_median:>14.0} {normalized:>14.0} {change:>+8.1}%  {verdict}"
+        ));
+    }
+    report
+}
+
 fn main() -> ExitCode {
-    let mut baseline_path = String::from("BENCH_4.json");
+    let mut baseline_path = String::from("BENCH_5.json");
     let mut current_path = None;
     let mut emit_path = None;
     let mut label = String::from("BENCH_CURRENT");
@@ -139,123 +343,19 @@ fn main() -> ExitCode {
         }
     };
 
-    // Machine scales: how much slower (or faster) this run's hardware is
-    // than the machine that recorded the baseline, measured by the
-    // code-stable calibration benchmarks present in both files — one probe
-    // for compute speed, one for memory latency.
-    let calibration_of = |rows: &[(String, f64)], name: &str| {
-        rows.iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, m)| m)
-            .filter(|&m| m > 0.0)
-    };
-    let scale = match (
-        calibration_of(&baseline, CALIBRATION_BENCH),
-        calibration_of(&current, CALIBRATION_BENCH),
-    ) {
-        (Some(base_cal), Some(current_cal)) => {
-            let scale = current_cal / base_cal;
-            println!(
-                "calibration ({CALIBRATION_BENCH}): baseline {base_cal:.0} ns, \
-                 current {current_cal:.0} ns -> compute scale {scale:.3}"
-            );
-            scale
-        }
-        (Some(_), None) => {
-            // The baseline was recorded with calibration, so comparing raw
-            // nanoseconds against it would bring back exactly the
-            // machine-dependent failures the calibration exists to prevent:
-            // the current run is misconfigured (it did not include
-            // `--bench calibration`).
-            eprintln!(
-                "\"{CALIBRATION_BENCH}\" is in {baseline_path} but missing from \
-                 {current_path}; run cargo bench with --bench calibration"
-            );
-            return ExitCode::FAILURE;
-        }
-        (None, _) => {
-            eprintln!(
-                "warning: \"{CALIBRATION_BENCH}\" missing from baseline {baseline_path}; \
-                 comparing absolute (machine-dependent) nanoseconds"
-            );
-            1.0
-        }
-    };
-    let mem_scale = match (
-        calibration_of(&baseline, MEM_CALIBRATION_BENCH),
-        calibration_of(&current, MEM_CALIBRATION_BENCH),
-    ) {
-        (Some(base_cal), Some(current_cal)) => {
-            let mem_scale = current_cal / base_cal;
-            println!(
-                "calibration ({MEM_CALIBRATION_BENCH}): baseline {base_cal:.0} ns, \
-                 current {current_cal:.0} ns -> memory scale {mem_scale:.3}"
-            );
-            Some(mem_scale)
-        }
-        (Some(_), None) => {
-            eprintln!(
-                "\"{MEM_CALIBRATION_BENCH}\" is in {baseline_path} but missing from \
-                 {current_path}; run cargo bench with --bench calibration"
-            );
-            return ExitCode::FAILURE;
-        }
-        (None, _) => {
-            // Pre-chase baselines (BENCH_2 and older): memory-sensitive
-            // benches degrade to the compute scale instead of failing.
-            eprintln!(
-                "warning: \"{MEM_CALIBRATION_BENCH}\" missing from baseline {baseline_path}; \
-                 normalizing memory-sensitive benches by the compute scale"
-            );
-            None
-        }
-    };
-
-    let mut failures = 0usize;
-    println!(
-        "{:<36} {:>14} {:>14} {:>9}  gate",
-        "benchmark", "baseline (ns)", "normalized (ns)", "change"
-    );
-    for (name, base_median) in &baseline {
-        if name == CALIBRATION_BENCH || name == MEM_CALIBRATION_BENCH {
-            continue;
-        }
-        let Some((_, current_median)) = current.iter().find(|(n, _)| n == name) else {
-            println!(
-                "{name:<36} {base_median:>14.0} {:>14} {:>9}  MISSING",
-                "-", "-"
-            );
-            if matches_any(name, GATED_PREFIXES) {
-                failures += 1;
-            }
-            continue;
-        };
-        let mem_sensitive = matches_any(name, MEM_SENSITIVE_PREFIXES);
-        let row_scale = if mem_sensitive {
-            mem_scale.unwrap_or(scale)
-        } else {
-            scale
-        };
-        let normalized = current_median / row_scale;
-        let change = (normalized - base_median) / base_median * 100.0;
-        let gated = matches_any(name, GATED_PREFIXES);
-        let verdict = match (gated, change > ALLOWED_REGRESSION_PERCENT) {
-            (false, _) if mem_sensitive && mem_scale.is_some() => "info (mem)",
-            (false, _) => "info",
-            (true, true) => {
-                failures += 1;
-                "FAIL"
-            }
-            (true, false) => "ok",
-        };
-        println!("{name:<36} {base_median:>14.0} {normalized:>14.0} {change:>+8.1}%  {verdict}");
+    let report = run_gate(&baseline, &current);
+    for line in &report.lines {
+        println!("{line}");
     }
-
-    if failures > 0 {
+    for complaint in &report.complaints {
+        eprintln!("{complaint}");
+    }
+    if report.failures > 0 {
         eprintln!(
-            "{failures} gated benchmark(s) regressed more than \
-             {ALLOWED_REGRESSION_PERCENT}% (calibration-normalized, or went missing) \
-             against {baseline_path}"
+            "{} gated benchmark(s) regressed more than {ALLOWED_REGRESSION_PERCENT}% \
+             (calibration-normalized), went missing, or had no gated group to compare \
+             against {baseline_path}",
+            report.failures
         );
         return ExitCode::FAILURE;
     }
@@ -343,4 +443,177 @@ fn compose_baseline(label: &str, rows: &[(String, f64)]) -> String {
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rows covering every gated prefix plus both calibration probes.
+    fn rows(entries: &[(&str, f64)]) -> Vec<(String, f64)> {
+        entries
+            .iter()
+            .map(|&(name, median)| (name.to_owned(), median))
+            .collect()
+    }
+
+    fn full_side(serial: f64, walk: f64) -> Vec<(String, f64)> {
+        rows(&[
+            ("calibration/spin", 100.0),
+            ("calibration/chase", 200.0),
+            ("schedule_merging_serial/60x12", serial),
+            ("merge_walk/depth24", walk),
+            ("schedule_merging/60x12", 500.0),
+            ("path_list_scheduling/60", 300.0),
+        ])
+    }
+
+    #[test]
+    fn identical_measurements_pass() {
+        let side = full_side(1000.0, 2000.0);
+        let report = run_gate(&side, &side);
+        assert_eq!(report.failures, 0, "{:?}", report.complaints);
+    }
+
+    #[test]
+    fn gated_regression_beyond_threshold_fails() {
+        let baseline = full_side(1000.0, 2000.0);
+        // 30% up on a gated row with identical calibration: over the 25%.
+        let current = full_side(1300.0, 2000.0);
+        assert_eq!(run_gate(&baseline, &current).failures, 1);
+        // 20% stays under the threshold.
+        let current = full_side(1200.0, 2000.0);
+        assert_eq!(run_gate(&baseline, &current).failures, 0);
+    }
+
+    #[test]
+    fn machine_profile_shift_does_not_fail_the_gate() {
+        // The current machine's memory (chase) is 2x slower while its ALU
+        // (spin) is unchanged; the gated serial merge touches memory, so its
+        // raw median is up 30%. Under the spin scale that is a >25% "regression",
+        // but under the chase scale it is a 35% improvement: one probe
+        // disagreeing means machine profile, not code, so the gate passes.
+        let baseline = full_side(1000.0, 2000.0);
+        let mut current = full_side(1300.0, 2000.0);
+        for (name, median) in &mut current {
+            if name == "calibration/chase" {
+                *median *= 2.0;
+            }
+        }
+        let report = run_gate(&baseline, &current);
+        assert_eq!(report.failures, 0, "{:?}", report.complaints);
+        assert!(report
+            .complaints
+            .iter()
+            .any(|c| c.contains("machine-profile shift")));
+
+        // A real code regression shows under both probes: 2.8x raw is +180%
+        // under spin and +40% under the doubled chase scale -> FAIL.
+        let mut current = full_side(2800.0, 2000.0);
+        for (name, median) in &mut current {
+            if name == "calibration/chase" {
+                *median *= 2.0;
+            }
+        }
+        assert_eq!(run_gate(&baseline, &current).failures, 1);
+    }
+
+    #[test]
+    fn calibration_normalizes_out_a_uniformly_slower_machine() {
+        let baseline = full_side(1000.0, 2000.0);
+        // Everything (calibration included) is 2x slower: no regression.
+        let current: Vec<(String, f64)> =
+            baseline.iter().map(|(n, m)| (n.clone(), m * 2.0)).collect();
+        let report = run_gate(&baseline, &current);
+        assert_eq!(report.failures, 0, "{:?}", report.complaints);
+    }
+
+    #[test]
+    fn gated_row_missing_from_current_fails() {
+        let baseline = full_side(1000.0, 2000.0);
+        let mut current = full_side(1000.0, 2000.0);
+        current.retain(|(n, _)| n != "schedule_merging_serial/60x12");
+        // The prefix is still populated (only one row of it vanished), so
+        // this exercises the per-row MISSING path, not the group check.
+        let with_second_row = |mut side: Vec<(String, f64)>| {
+            side.push(("schedule_merging_serial/80x18".to_owned(), 1500.0));
+            side
+        };
+        let baseline = with_second_row(baseline);
+        let current = with_second_row(current);
+        assert_eq!(run_gate(&baseline, &current).failures, 1);
+    }
+
+    #[test]
+    fn gated_group_absent_from_baseline_fails() {
+        // The whole merge_walk/ group is missing from the baseline: the old
+        // guard silently gated nothing; now it is a hard failure telling the
+        // operator to re-record.
+        let mut baseline = full_side(1000.0, 2000.0);
+        baseline.retain(|(n, _)| !n.starts_with("merge_walk/"));
+        let current = full_side(1000.0, 2000.0);
+        let report = run_gate(&baseline, &current);
+        assert_eq!(report.failures, 1);
+        assert!(report
+            .complaints
+            .iter()
+            .any(|c| c.contains("merge_walk/") && c.contains("baseline")));
+    }
+
+    #[test]
+    fn gated_group_absent_from_current_fails() {
+        let baseline = full_side(1000.0, 2000.0);
+        let mut current = full_side(1000.0, 2000.0);
+        current.retain(|(n, _)| !n.starts_with("merge_walk/"));
+        let report = run_gate(&baseline, &current);
+        // One failure for the empty group, one per-row MISSING failure.
+        assert_eq!(report.failures, 2);
+        assert!(report
+            .complaints
+            .iter()
+            .any(|c| c.contains("merge_walk/") && c.contains("current")));
+    }
+
+    #[test]
+    fn ungated_rows_never_fail() {
+        let baseline = full_side(1000.0, 2000.0);
+        let mut current = full_side(1000.0, 2000.0);
+        for (name, median) in &mut current {
+            if name.starts_with("schedule_merging/") || name.starts_with("path_list_scheduling/") {
+                *median *= 10.0;
+            }
+        }
+        assert_eq!(run_gate(&baseline, &current).failures, 0);
+    }
+
+    #[test]
+    fn compute_calibration_missing_from_current_fails() {
+        let baseline = full_side(1000.0, 2000.0);
+        let mut current = full_side(1000.0, 2000.0);
+        current.retain(|(n, _)| n != "calibration/spin");
+        assert!(run_gate(&baseline, &current).failures > 0);
+    }
+
+    #[test]
+    fn uncalibrated_baseline_compares_absolute_with_warning() {
+        let mut baseline = full_side(1000.0, 2000.0);
+        baseline.retain(|(n, _)| !n.starts_with("calibration/"));
+        let current = full_side(1000.0, 2000.0);
+        let report = run_gate(&baseline, &current);
+        assert_eq!(report.failures, 0, "{:?}", report.complaints);
+        assert!(report
+            .complaints
+            .iter()
+            .any(|c| c.contains("machine-dependent")));
+    }
+
+    #[test]
+    fn parser_reads_composed_baseline_documents() {
+        let doc = compose_baseline("BENCH_TEST", &full_side(1000.0, 2000.0));
+        let dir = std::env::temp_dir().join("bench_guard_test_roundtrip.json");
+        std::fs::write(&dir, doc).unwrap();
+        let parsed = read_benchmarks(dir.to_str().unwrap()).unwrap();
+        std::fs::remove_file(&dir).ok();
+        assert_eq!(parsed, full_side(1000.0, 2000.0));
+    }
 }

@@ -52,13 +52,14 @@ pub struct SuiteOutcome {
 /// systems: the `CPG_SUITE_THREADS` environment variable when set (CI pins
 /// `1` to smoke-check that serial and nested-parallel runs produce the same
 /// report), otherwise the machine's available parallelism.
+///
+/// The variable goes through the same parser as `CPG_MERGE_THREADS`
+/// ([`cpg_merge::threads_from_env`]): garbage values warn once on stderr and
+/// fall back to the automatic choice instead of being silently swallowed.
 #[must_use]
 pub fn suite_threads() -> usize {
-    std::env::var("CPG_SUITE_THREADS")
-        .ok()
-        .and_then(|value| value.trim().parse::<usize>().ok())
-        .filter(|&threads| threads > 0)
-        .unwrap_or_else(fj::available_parallelism)
+    cpg_merge::threads_from_env("CPG_SUITE_THREADS")
+        .map_or_else(fj::available_parallelism, std::num::NonZeroUsize::get)
 }
 
 /// Runs the experiment of the paper's Section 6 on `graphs_per_size` graphs
@@ -206,14 +207,16 @@ pub fn fig6_rows(outcomes: &[SuiteOutcome]) -> String {
     out
 }
 
-/// Generates the merged schedule table of the Fig. 1 example system.
+/// Generates the merged schedule table of the Fig. 1 example system, with
+/// decision-tree tracing on (the Fig. 2 report walks the recorded steps;
+/// tracing is otherwise off by default).
 #[must_use]
 pub fn fig1_merge() -> (examples::ExampleSystem, MergeResult) {
     let system = examples::fig1();
     let result = generate_schedule_table(
         system.cpg(),
         system.arch(),
-        &MergeConfig::new(system.broadcast_time()),
+        &MergeConfig::new(system.broadcast_time()).with_trace(true),
     );
     (system, result)
 }

@@ -1,8 +1,60 @@
 //! Configuration of the table-generation algorithm.
 
 use std::num::NonZeroUsize;
+use std::sync::{Mutex, OnceLock};
 
 use cpg_arch::Time;
+
+/// Parses a thread-count environment variable, warning **once** per variable
+/// on garbage instead of silently falling back.
+///
+/// The contract, shared by every thread knob in the workspace
+/// (`CPG_MERGE_THREADS` for the merge phases, `CPG_SUITE_THREADS` for the
+/// benchmark suites):
+///
+/// * unset or empty/whitespace-only value → `None` (automatic choice);
+/// * `"0"` → `None` (explicit "automatic", mirroring
+///   [`MergeConfig::with_threads`]);
+/// * a positive integer (surrounding whitespace tolerated) → that count;
+/// * anything else → `None` **plus** one `warning:` line on stderr per
+///   variable per process, so a typo like `CPG_MERGE_THREADS=fourteen` can
+///   no longer masquerade as the default.
+#[must_use]
+pub fn threads_from_env(var: &str) -> Option<NonZeroUsize> {
+    parse_thread_count(var, std::env::var(var).ok()?.as_str())
+}
+
+/// The testable core of [`threads_from_env`]: parses an observed value.
+fn parse_thread_count(var: &str, value: &str) -> Option<NonZeroUsize> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<usize>() {
+        Ok(count) => NonZeroUsize::new(count),
+        Err(_) => {
+            warn_once(var, trimmed);
+            None
+        }
+    }
+}
+
+/// Emits one stderr warning per variable name per process.
+fn warn_once(var: &str, value: &str) {
+    static WARNED: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    let mut warned = WARNED
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("thread-count warning registry poisoned");
+    if warned.iter().any(|seen| seen == var) {
+        return;
+    }
+    warned.push(var.to_owned());
+    eprintln!(
+        "warning: ignoring {var}={value:?}: expected a non-negative thread count \
+         (0 = automatic), falling back to the automatic choice"
+    );
+}
 
 /// Rule used to pick the next current schedule after a back-step in the
 /// decision tree.
@@ -50,13 +102,23 @@ pub enum SelectionPolicy {
 pub struct MergeConfig {
     broadcast_time: Time,
     selection: SelectionPolicy,
-    /// Worker threads for the embarrassingly parallel phases of the merge
-    /// (per-track context construction + initial path schedules, and the
-    /// final realizability sweep). `None` means "decide at run time": the
-    /// `CPG_MERGE_THREADS` environment variable if set, otherwise the
-    /// machine's available parallelism. The merged output is bit-identical
-    /// for every thread count.
+    /// Worker threads for the parallel phases of the merge (per-track
+    /// context construction + initial path schedules, the speculative
+    /// decision-tree walk, and the final realizability sweep). `None` means
+    /// "decide at run time"; the precedence is
+    ///
+    /// | source                        | wins when                        |
+    /// |-------------------------------|----------------------------------|
+    /// | [`MergeConfig::with_threads`] | set to a non-zero count          |
+    /// | `CPG_MERGE_THREADS`           | set to a valid non-zero count    |
+    /// | `available_parallelism`       | otherwise                        |
+    ///
+    /// (see [`threads_from_env`] for how the variable is parsed). The merged
+    /// output is bit-identical for every thread count.
     threads: Option<NonZeroUsize>,
+    /// Record a [`MergeStep`](crate::MergeStep) for every decision-tree node
+    /// (default off: tracing costs an allocation per node on the hot walk).
+    trace: bool,
 }
 
 impl MergeConfig {
@@ -68,6 +130,7 @@ impl MergeConfig {
             broadcast_time,
             selection: SelectionPolicy::default(),
             threads: None,
+            trace: false,
         }
     }
 
@@ -118,21 +181,37 @@ impl MergeConfig {
 
     /// The worker-thread count the merge will actually use: the configured
     /// count if one was set, else the `CPG_MERGE_THREADS` environment
-    /// variable (how CI forces both extremes through the whole test suite),
-    /// else the machine's available parallelism.
+    /// variable (how CI forces both extremes through the whole test suite;
+    /// parsed by [`threads_from_env`], which warns on garbage), else the
+    /// machine's available parallelism.
     #[must_use]
     pub fn effective_threads(&self) -> usize {
         if let Some(threads) = self.threads {
             return threads.get();
         }
-        if let Some(threads) = std::env::var("CPG_MERGE_THREADS")
-            .ok()
-            .and_then(|value| value.trim().parse::<usize>().ok())
-            .and_then(NonZeroUsize::new)
-        {
+        if let Some(threads) = threads_from_env("CPG_MERGE_THREADS") {
             return threads.get();
         }
         fj::available_parallelism()
+    }
+
+    /// `true` when the merge records a [`MergeStep`](crate::MergeStep) per
+    /// decision-tree node (see [`with_trace`](Self::with_trace)).
+    #[must_use]
+    pub fn trace(&self) -> bool {
+        self.trace
+    }
+
+    /// Returns the configuration with decision-tree tracing switched on or
+    /// off. Off (the default) keeps the walk allocation-free:
+    /// [`MergeResult::steps`](crate::MergeResult::steps) comes back empty,
+    /// while the [`MergeStats`](crate::MergeStats) counters are always
+    /// collected. On, every forward- and back-step is recorded — the figure
+    /// generators and the differential oracles use this.
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -179,5 +258,49 @@ mod tests {
         // 0 restores the automatic choice.
         let auto_again = fixed.with_threads(0);
         assert_eq!(auto_again.threads(), None);
+    }
+
+    #[test]
+    fn trace_defaults_off_and_toggles() {
+        let config = MergeConfig::default();
+        assert!(!config.trace());
+        assert!(config.with_trace(true).trace());
+        assert!(!config.with_trace(true).with_trace(false).trace());
+    }
+
+    #[test]
+    fn thread_env_values_parse_trim_and_reject_garbage() {
+        let var = "CPG_TEST_THREADS_PARSE";
+        assert_eq!(parse_thread_count(var, "4"), NonZeroUsize::new(4));
+        // Whitespace padding is tolerated.
+        assert_eq!(parse_thread_count(var, "  8\n"), NonZeroUsize::new(8));
+        // Empty, whitespace-only and zero mean "automatic", silently.
+        assert_eq!(parse_thread_count(var, ""), None);
+        assert_eq!(parse_thread_count(var, "   "), None);
+        assert_eq!(parse_thread_count(var, "0"), None);
+        // Garbage falls back (and warns once, which we cannot capture here,
+        // but must not panic or be accepted).
+        assert_eq!(parse_thread_count(var, "fourteen"), None);
+        assert_eq!(parse_thread_count(var, "-2"), None);
+        assert_eq!(parse_thread_count(var, "4x"), None);
+        assert_eq!(parse_thread_count(var, "fourteen"), None);
+    }
+
+    #[test]
+    fn threads_from_env_reads_the_process_environment() {
+        // Unique variable names: tests run concurrently in one process and
+        // the environment is process-global.
+        assert_eq!(threads_from_env("CPG_TEST_THREADS_UNSET"), None);
+        // set_var is safe in Rust 2021 (no unsafe block required) but the
+        // environment is shared — touch only test-unique names.
+        std::env::set_var("CPG_TEST_THREADS_SET", "6");
+        assert_eq!(
+            threads_from_env("CPG_TEST_THREADS_SET"),
+            NonZeroUsize::new(6)
+        );
+        std::env::set_var("CPG_TEST_THREADS_BAD", "lots");
+        assert_eq!(threads_from_env("CPG_TEST_THREADS_BAD"), None);
+        std::env::remove_var("CPG_TEST_THREADS_SET");
+        std::env::remove_var("CPG_TEST_THREADS_BAD");
     }
 }

@@ -18,13 +18,17 @@
 //! by moving processes to previously tabled activation times (Theorem 2 of the
 //! paper).
 //!
-//! The embarrassingly parallel phases — per-track context construction, the
-//! initial per-path schedules and the final realizability sweep — fan out
-//! over a fixed-size worker pool (the vendored `fj` fork-join shim) with one
-//! reusable scratch arena per worker; the decision-tree walk itself is
-//! sequential. The thread count comes from [`MergeConfig::with_threads`]
-//! (default: available parallelism; `1` forces the serial path) and the
-//! merged output is bit-identical for every thread count.
+//! Every phase is parallel: the embarrassingly parallel ones — per-track
+//! context construction, the initial per-path schedules and the final
+//! realizability sweep — fan out over a fixed-size worker pool (the vendored
+//! `fj` fork-join shim) with one reusable scratch arena per worker, and the
+//! decision-tree walk itself runs sibling subtrees speculatively over
+//! transactional views of the schedule table
+//! ([`TableTxn`](cpg_table::TableTxn)), committing their write logs in tree
+//! order. The thread count comes from [`MergeConfig::with_threads`] (default:
+//! `CPG_MERGE_THREADS`, parsed by [`threads_from_env`], else available
+//! parallelism; `1` forces the serial path) and the merged output is
+//! bit-identical for every thread count.
 //!
 //! A condition-oblivious baseline ([`condition_oblivious_baseline`]) is also
 //! provided for comparison.
@@ -56,7 +60,7 @@ mod merge;
 mod result;
 
 pub use baseline::{condition_oblivious_baseline, BaselineResult};
-pub use config::{MergeConfig, SelectionPolicy};
+pub use config::{threads_from_env, MergeConfig, SelectionPolicy};
 #[cfg(any(test, feature = "test-util"))]
 pub use merge::generate_schedule_table_cloning;
 pub use merge::{generate_schedule_table, generate_schedule_table_for_tracks};

@@ -27,21 +27,28 @@
 //!    process to one of the previously tabled activation times (the loop
 //!    justified by Theorem 2).
 //!
-//! The walk runs on an explicit stack with **undo-log state management**
-//! (see [`Merger::walk_undo_log`]): one [`Assignment`] of decided conditions
-//! mutated in place, one journalled [`LockSet`] per back-step branch rolled
-//! back via [`LockSet::rollback`], and pooled [`PathSchedule`]s rebuilt in
-//! place by the scheduler — so the walk, like the scheduler runs feeding it,
-//! is allocation-free after warm-up. The original clone-per-node recursion
-//! is kept behind the `test-util` feature as a differential-test oracle
+//! The walk itself is generic over a [`TableView`], which is what makes it
+//! parallel: with a thread budget of one it runs the iterative
+//! **undo-log** walk ([`MergeShared::walk_serial`] — one [`Assignment`] of
+//! decided conditions mutated in place, one journalled [`LockSet`] per
+//! back-step branch, pooled [`PathSchedule`]s — allocation-free after
+//! warm-up), and with a larger budget it explores sibling subtrees
+//! *speculatively* over transactional overlays of the table
+//! ([`MergeShared::walk_par`]): each subtree buffers its writes in a
+//! [`TableTxn`] and the logs commit in tree order, the back-branch log only
+//! after validation proves the speculation read nothing the forward subtree
+//! changed. Failed speculations are discarded and re-run, so the produced
+//! [`MergeResult`] is bit-identical to the serial walk for every thread
+//! count and selection policy. The original clone-per-node recursion is kept
+//! behind the `test-util` feature as a differential-test oracle
 //! ([`generate_schedule_table_cloning`]).
 
 use cpg::{enumerate_tracks, Assignment, CondId, Cpg, Cube, Track, TrackSet};
 use cpg_arch::{Architecture, PeId, Time};
 use cpg_path_sched::{
-    Job, ListScheduler, LockSet, PathSchedule, RunScratch, SlippedLock, TrackContext,
+    Job, ListScheduler, LockSet, PathSchedule, RunScratch, ScheduledJob, SlippedLock, TrackContext,
 };
-use cpg_table::ScheduleTable;
+use cpg_table::{ScheduleTable, TableTxn, TableView};
 
 use crate::config::{MergeConfig, SelectionPolicy};
 use crate::result::{MergeResult, MergeStats, MergeStep};
@@ -118,9 +125,9 @@ pub fn generate_schedule_table_cloning(
 /// Which decision-tree walk implementation drives the merge.
 #[derive(Clone, Copy)]
 enum WalkKind {
-    /// The iterative undo-log walk: one shared [`Assignment`]/[`LockSet`]
-    /// mutated in place with trail-based rollback, pooled schedules —
-    /// allocation-free after warm-up.
+    /// The production walk: the iterative undo-log walk when the thread
+    /// budget is one, the speculative transactional walk otherwise. Both are
+    /// bit-identical to each other (and to the oracle below).
     UndoLog,
     /// The original recursive walk cloning the decided conditions, the lock
     /// set and the current schedule at every tree node (oracle only).
@@ -161,33 +168,68 @@ fn generate_for_tracks_inner(
         .max()
         .unwrap_or(Time::ZERO);
 
-    let mut merger = Merger {
+    let shared = MergeShared {
         cpg,
         config,
         threads,
         contexts: &contexts,
         tracks: &tracks,
         optimal: &optimal,
-        table: ScheduleTable::new(),
-        steps: Vec::new(),
-        stats: MergeStats::default(),
-        saw_slip: false,
-        scratch: RunScratch::new(),
-        realized: None,
-        slip_buf: Vec::new(),
-        stale_buf: Vec::new(),
-        frontier_buf: Vec::new(),
-        fresh_buf: Vec::new(),
-        candidates_buf: Vec::new(),
     };
-    merger.run(walk);
-    let Merger {
-        table,
-        steps,
-        stats,
-        realized,
-        ..
-    } = merger;
+    let mut state = WalkState::new();
+    let mut table = ScheduleTable::new();
+    let mut decided = Assignment::new();
+    let root = shared
+        .select_track(&decided)
+        .expect("a valid graph has at least one alternative path");
+    let schedule = optimal[root].clone();
+    let fixed = LockSet::for_graph(cpg);
+    match walk {
+        WalkKind::UndoLog if threads > 1 => {
+            shared.walk_par(
+                &mut state,
+                &mut table,
+                threads,
+                root,
+                schedule,
+                &mut decided,
+                fixed,
+            );
+        }
+        WalkKind::UndoLog => {
+            shared.walk_serial(&mut state, &mut table, root, schedule, &mut decided, fixed);
+        }
+        #[cfg(any(test, feature = "test-util"))]
+        WalkKind::Cloning => {
+            shared.walk_cloning(
+                &mut state,
+                &mut table,
+                root,
+                schedule,
+                decided.clone(),
+                fixed,
+            );
+        }
+    }
+
+    // Adjustments that slipped fed the divergent entries back through the
+    // Theorem-2 re-placement loop; whatever the repairs could not absorb
+    // is what the final table still cannot realize. Replaying the table
+    // through the scheduler gives the exact surviving count (0 whenever
+    // no slip was ever observed, so the sweep is skipped then) — and the
+    // replays themselves are the realized per-path schedules, so they are
+    // kept instead of thrown away.
+    let mut stats = state.stats;
+    let realized = if state.saw_slip {
+        let replays = shared.residual_replays(&table);
+        stats.lock_slips = replays
+            .iter()
+            .map(|replay| replay.slipped_locks().len())
+            .sum();
+        Some(replays)
+    } else {
+        None
+    };
 
     let delta_max = table.worst_case_delay(cpg, &tracks);
     MergeResult {
@@ -199,7 +241,7 @@ fn generate_for_tracks_inner(
         path_schedules: realized.unwrap_or(optimal),
         delta_m,
         delta_max,
-        steps,
+        steps: state.steps,
         stats,
     }
 }
@@ -221,38 +263,75 @@ enum Placement {
 /// the cap only guards against pathological oscillation between candidates.
 const SLIP_REPAIR_ROUNDS: usize = 16;
 
-struct Merger<'a> {
+/// The immutable inputs shared by every worker of the decision-tree walk.
+struct MergeShared<'a> {
     cpg: &'a Cpg,
     config: &'a MergeConfig,
     /// Worker threads for the parallel phases (resolved once up front so the
-    /// whole merge sees one consistent count).
+    /// whole merge sees one consistent count); doubles as the root thread
+    /// budget of the speculative walk.
     threads: usize,
     contexts: &'a [TrackContext<'a>],
     tracks: &'a TrackSet,
     optimal: &'a [PathSchedule],
-    table: ScheduleTable,
+}
+
+/// Per-worker walk state: the outputs of one (sub)tree traversal plus the
+/// reusable buffers that make the traversal allocation-free after warm-up.
+///
+/// The speculative walk gives each back-branch subtree a fresh `WalkState`
+/// on its worker thread and folds the output fields back into the caller's
+/// in tree order ([`absorb_output`](Self::absorb_output)), so every counter
+/// and traced step lands exactly where the serial walk would have put it.
+struct WalkState {
+    /// Decision-tree nodes visited, in visit order (recorded only when
+    /// [`MergeConfig::with_trace`] is on).
     steps: Vec<MergeStep>,
     stats: MergeStats,
     /// `true` once any adjustment reported a slipped lock; gates the final
     /// realizability sweep that computes [`MergeStats::lock_slips`].
     saw_slip: bool,
-    /// Scratch arena for the serial decision-tree walk (adjustments and
-    /// repairs re-run the scheduler through it; the parallel phases pool
-    /// their own arenas per worker).
+    /// Scratch arena for the scheduler runs of adjustments and repairs.
     scratch: RunScratch,
-    /// Per-track replays produced by the realizability sweep: the schedules
-    /// the final table actually realizes, seeded into
-    /// [`MergeResult::path_schedules`] so callers see realized (not just
-    /// intended) per-path timing. `None` when no slip was ever observed.
-    realized: Option<Vec<PathSchedule>>,
-    /// Reusable buffers of the serial walk's repair loops; together with the
-    /// scratch arena, the lock-set journal and the schedule pool they make
-    /// the walk allocation-free after warm-up.
+    /// Reusable buffers of the repair loops.
     slip_buf: Vec<SlippedLock>,
     stale_buf: Vec<Cube>,
     frontier_buf: Vec<Cube>,
     fresh_buf: Vec<Cube>,
     candidates_buf: Vec<(Time, Option<PeId>)>,
+    /// Pools: dead schedules and lock sets are recycled instead of freed.
+    schedule_pool: Vec<PathSchedule>,
+    lock_pool: Vec<LockSet>,
+    /// Swap target of `place_phase` repairs.
+    spare: PathSchedule,
+}
+
+impl WalkState {
+    fn new() -> Self {
+        WalkState {
+            steps: Vec::new(),
+            stats: MergeStats::default(),
+            saw_slip: false,
+            scratch: RunScratch::new(),
+            slip_buf: Vec::new(),
+            stale_buf: Vec::new(),
+            frontier_buf: Vec::new(),
+            fresh_buf: Vec::new(),
+            candidates_buf: Vec::new(),
+            schedule_pool: Vec::new(),
+            lock_pool: Vec::new(),
+            spare: PathSchedule::default(),
+        }
+    }
+
+    /// Folds the *outputs* of a completed speculative subtree into this
+    /// state, in tree order; the subtree's scratch buffers and pools are
+    /// dropped with it.
+    fn absorb_output(&mut self, subtree: WalkState) {
+        self.steps.extend(subtree.steps);
+        self.stats.absorb(subtree.stats);
+        self.saw_slip |= subtree.saw_slip;
+    }
 }
 
 /// One pending continuation of the iterative decision-tree walk. The
@@ -281,38 +360,7 @@ enum WalkTask {
     AfterBack { condition: CondId },
 }
 
-impl Merger<'_> {
-    fn run(&mut self, walk: WalkKind) {
-        match walk {
-            WalkKind::UndoLog => self.walk_undo_log(),
-            #[cfg(any(test, feature = "test-util"))]
-            WalkKind::Cloning => {
-                let decided = Assignment::new();
-                let root = self
-                    .select_track(&decided)
-                    .expect("a valid graph has at least one alternative path");
-                let schedule = self.optimal[root].clone();
-                let fixed = LockSet::for_graph(self.cpg);
-                self.walk_cloning(root, schedule, decided, fixed);
-            }
-        }
-        // Adjustments that slipped fed the divergent entries back through the
-        // Theorem-2 re-placement loop; whatever the repairs could not absorb
-        // is what the final table still cannot realize. Replaying the table
-        // through the scheduler gives the exact surviving count (0 whenever
-        // no slip was ever observed, so the sweep is skipped then) — and the
-        // replays themselves are the realized per-path schedules, so they are
-        // kept instead of thrown away.
-        if self.saw_slip {
-            let replays = self.residual_replays();
-            self.stats.lock_slips = replays
-                .iter()
-                .map(|replay| replay.slipped_locks().len())
-                .sum();
-            self.realized = Some(replays);
-        }
-    }
-
+impl MergeShared<'_> {
     /// Re-schedules a track around the locked activation times, feeding every
     /// slipped lock back through the Theorem-2 re-placement loop: the stale
     /// intended time is dropped from the table, the job is re-placed at the
@@ -323,55 +371,59 @@ impl Merger<'_> {
     /// The adjusted schedule is rebuilt into `out` (previous content
     /// discarded, buffers reused): the walk pools its schedules, so repeated
     /// adjustments stop touching the allocator once the pool is warm.
-    fn adjust_into(
-        &mut self,
+    fn adjust_into<V: TableView + ?Sized>(
+        &self,
+        state: &mut WalkState,
+        view: &mut V,
         track_idx: usize,
         locks: &mut LockSet,
         decided: &Assignment,
         out: &mut PathSchedule,
     ) {
         self.contexts[track_idx].reschedule_into(
-            &mut self.scratch,
+            &mut state.scratch,
             &self.optimal[track_idx],
             locks,
             out,
         );
         let mut rounds = 0;
         while !out.slipped_locks().is_empty() && rounds < SLIP_REPAIR_ROUNDS {
-            self.saw_slip = true;
-            let mut slips = std::mem::take(&mut self.slip_buf);
+            state.saw_slip = true;
+            let mut slips = std::mem::take(&mut state.slip_buf);
             slips.clear();
             slips.extend_from_slice(out.slipped_locks());
             let mut progressed = false;
             for slip in &slips {
-                progressed |= self.repair_slip(out, decided, slip, locks);
+                progressed |= self.repair_slip(state, view, out, decided, slip, locks);
             }
-            self.slip_buf = slips;
+            state.slip_buf = slips;
             if !progressed {
                 break;
             }
             self.contexts[track_idx].reschedule_into(
-                &mut self.scratch,
+                &mut state.scratch,
                 &self.optimal[track_idx],
                 locks,
                 out,
             );
             rounds += 1;
         }
-        self.saw_slip |= !out.slipped_locks().is_empty();
+        state.saw_slip |= !out.slipped_locks().is_empty();
     }
 
     /// [`adjust_into`](Self::adjust_into) allocating a fresh schedule per
     /// call — the clone-per-node discipline of the oracle walk.
     #[cfg(any(test, feature = "test-util"))]
-    fn adjust(
-        &mut self,
+    fn adjust<V: TableView + ?Sized>(
+        &self,
+        state: &mut WalkState,
+        view: &mut V,
         track_idx: usize,
         locks: &mut LockSet,
         decided: &Assignment,
     ) -> PathSchedule {
         let mut out = PathSchedule::default();
-        self.adjust_into(track_idx, locks, decided, &mut out);
+        self.adjust_into(state, view, track_idx, locks, decided, &mut out);
         out
     }
 
@@ -394,8 +446,10 @@ impl Merger<'_> {
     ///
     /// Returns `false` when no stale entry could be located (the slip then
     /// survives as-is and is picked up by the final realizability sweep).
-    fn repair_slip(
-        &mut self,
+    fn repair_slip<V: TableView + ?Sized>(
+        &self,
+        state: &mut WalkState,
+        view: &mut V,
         schedule: &PathSchedule,
         decided: &Assignment,
         slip: &SlippedLock,
@@ -403,18 +457,15 @@ impl Merger<'_> {
     ) -> bool {
         let job = slip.job();
         let decided_cube = decided.to_cube();
-        let mut stale = std::mem::take(&mut self.stale_buf);
+        let mut stale = std::mem::take(&mut state.stale_buf);
         stale.clear();
-        stale.extend(
-            self.table
-                .entries(job)
-                .filter(|&(column, time)| {
-                    time == slip.intended() && column.compatible(&decided_cube)
-                })
-                .map(|(column, _)| column),
-        );
+        view.for_each_entry_on(job, &mut |column, time, _| {
+            if time == slip.intended() && column.compatible(&decided_cube) {
+                stale.push(column);
+            }
+        });
         if stale.is_empty() {
-            self.stale_buf = stale;
+            state.stale_buf = stale;
             return false;
         }
         // Closure over compatible same-time columns: an execution can satisfy
@@ -427,22 +478,20 @@ impl Merger<'_> {
         // set the round after that member did), so every (entry, stale
         // column) pair is examined at most once.
         stale.sort_unstable();
-        let mut frontier = std::mem::take(&mut self.frontier_buf);
-        let mut fresh = std::mem::take(&mut self.fresh_buf);
+        let mut frontier = std::mem::take(&mut state.frontier_buf);
+        let mut fresh = std::mem::take(&mut state.fresh_buf);
         frontier.clear();
         frontier.extend_from_slice(&stale);
         while !frontier.is_empty() {
             fresh.clear();
-            fresh.extend(
-                self.table
-                    .entries(job)
-                    .filter(|&(column, time)| {
-                        time == slip.intended()
-                            && stale.binary_search(&column).is_err()
-                            && frontier.iter().any(|s| s.compatible(&column))
-                    })
-                    .map(|(column, _)| column),
-            );
+            view.for_each_entry_on(job, &mut |column, time, _| {
+                if time == slip.intended()
+                    && stale.binary_search(&column).is_err()
+                    && frontier.iter().any(|s| s.compatible(&column))
+                {
+                    fresh.push(column);
+                }
+            });
             for &column in &fresh {
                 let at = stale
                     .binary_search(&column)
@@ -453,35 +502,36 @@ impl Merger<'_> {
         }
         frontier.clear();
         fresh.clear();
-        self.frontier_buf = frontier;
-        self.fresh_buf = fresh;
+        state.frontier_buf = frontier;
+        state.fresh_buf = fresh;
 
         // Theorem 2: prefer one of the previously tabled activation times of
         // this job that the adjusted schedule can reach; invent a new time
         // only when none is achievable.
         let mut target = slip.actual();
         let mut target_pe = schedule.entry(job).and_then(|sj| sj.pe());
-        let tabled_candidate = self
-            .table
-            .entries_on(job)
-            .filter(|(column, time, _)| {
-                *time >= slip.actual()
-                    && *time != slip.intended()
-                    && column.compatible(&decided_cube)
-            })
-            .min_by_key(|&(_, time, _)| time);
-        if let Some((_, time, resource)) = tabled_candidate {
+        let mut tabled: Option<(Time, Option<PeId>)> = None;
+        view.for_each_entry_on(job, &mut |column, time, resource| {
+            if time >= slip.actual()
+                && time != slip.intended()
+                && column.compatible(&decided_cube)
+                && tabled.is_none_or(|(best, _)| time < best)
+            {
+                tabled = Some((time, resource));
+            }
+        });
+        if let Some((time, resource)) = tabled {
             target = time;
             target_pe = resource.or(target_pe);
         }
 
         for column in &stale {
-            self.table.set_on(job, *column, target, target_pe);
+            view.set_on(job, *column, target, target_pe);
         }
         stale.clear();
-        self.stale_buf = stale;
+        state.stale_buf = stale;
         locks.insert_pinned(job, target, target_pe);
-        self.stats.slip_repairs += 1;
+        state.stats.slip_repairs += 1;
         true
     }
 
@@ -497,7 +547,7 @@ impl Merger<'_> {
     /// The tracks are independent, so the sweep fans out over the fork-join
     /// shim with one scratch arena per worker; the reduction is by track
     /// index, keeping the result identical for every thread count.
-    fn residual_replays(&self) -> Vec<PathSchedule> {
+    fn residual_replays(&self, table: &ScheduleTable) -> Vec<PathSchedule> {
         fj::map_with(
             self.threads,
             self.tracks.tracks(),
@@ -506,8 +556,8 @@ impl Merger<'_> {
                 let assignment = Assignment::from_cube(&track.label());
                 let mut locks = LockSet::for_graph(self.cpg);
                 for job in self.track_jobs(track) {
-                    if let Some(time) = self.table.activation_time(job, &assignment) {
-                        let pe = self.table.activation_resource(job, &assignment);
+                    if let Some(time) = table.activation_time(job, &assignment) {
+                        let pe = table.activation_resource(job, &assignment);
                         locks.insert_pinned(job, time, pe);
                     }
                 }
@@ -535,13 +585,24 @@ impl Merger<'_> {
         }
     }
 
+    /// Number of alternative paths consistent with `decided` — the cost
+    /// proxy the speculative walk uses to split its thread budget between
+    /// the two subtrees of a node (a subtree's work scales with the number
+    /// of paths it still covers).
+    fn reachable_count(&self, decided: &Assignment) -> usize {
+        self.tracks
+            .iter()
+            .filter(|t| t.label().consistent_with(decided))
+            .count()
+    }
+
     /// Depth-first traversal of the decision tree (the `BuildScheduleTable`
     /// procedure of the paper's Fig. 3) on an explicit stack, with undo-log
     /// state management:
     ///
     /// * the conditions decided along the current tree path live in **one**
     ///   [`Assignment`], assigned on the way down and unassigned on the way
-    ///   back up;
+    ///   back up (the caller's `decided` is returned in its entry state);
     /// * the activation times fixed along the path live in one [`LockSet`]
     ///   per back-step branch (consecutive forward nodes share their
     ///   branch's set, journalled and rolled back to the node's
@@ -553,25 +614,28 @@ impl Merger<'_> {
     /// Together with the scratch arena of the scheduler runs this makes the
     /// whole walk allocation-free after warm-up; the visit order, every
     /// placement decision and the produced [`MergeResult`] are identical to
-    /// the clone-per-node recursion (kept as [`walk_cloning`](Self::walk_cloning)
-    /// for the differential tests).
-    fn walk_undo_log(&mut self) {
-        let mut decided = Assignment::new();
-        let root = self
-            .select_track(&decided)
-            .expect("a valid graph has at least one alternative path");
-
-        // Pools: dead schedules and lock sets are recycled instead of freed.
-        let mut schedule_pool: Vec<PathSchedule> = Vec::new();
-        let mut spare = PathSchedule::default();
-        let mut lock_pool: Vec<LockSet> = Vec::new();
+    /// the clone-per-node recursion (kept as
+    /// [`walk_cloning`](Self::walk_cloning) for the differential tests).
+    ///
+    /// The walk is generic over the [`TableView`] it writes through: the
+    /// real [`ScheduleTable`] at the root, a [`TableTxn`] overlay when a
+    /// speculative ancestor ran out of thread budget for this subtree.
+    fn walk_serial<V: TableView + ?Sized>(
+        &self,
+        state: &mut WalkState,
+        view: &mut V,
+        root_idx: usize,
+        root_schedule: PathSchedule,
+        decided: &mut Assignment,
+        fixed: LockSet,
+    ) {
+        let trace = self.config.trace();
         // One lock set per back-step branch of the current tree path; the
         // top of the stack is the set the current node fixes times into.
-        let mut lock_stack: Vec<LockSet> = vec![LockSet::for_graph(self.cpg)];
-
+        let mut lock_stack: Vec<LockSet> = vec![fixed];
         let mut tasks: Vec<WalkTask> = vec![WalkTask::Enter {
-            track_idx: root,
-            schedule: self.optimal[root].clone(),
+            track_idx: root_idx,
+            schedule: root_schedule,
         }];
 
         while let Some(task) = tasks.pop() {
@@ -584,17 +648,18 @@ impl Merger<'_> {
                         .pop()
                         .expect("every branch of the walk owns a lock set");
                     let next = self.place_phase(
+                        state,
+                        view,
                         track_idx,
                         &mut schedule,
-                        &decided,
+                        decided,
                         &mut fixed,
-                        &mut spare,
                     );
 
                     // End of schedule: every condition of this path has been
                     // decided and all activation times are placed.
                     let Some((condition, resolved_at)) = next else {
-                        schedule_pool.push(schedule);
+                        state.schedule_pool.push(schedule);
                         lock_stack.push(fixed);
                         continue;
                     };
@@ -606,14 +671,16 @@ impl Merger<'_> {
 
                     // Continue with the same schedule: the condition takes
                     // the value of the current path (no back-step).
-                    self.stats.tree_nodes += 1;
-                    self.steps.push(MergeStep {
-                        decided: decided.to_cube(),
-                        condition,
-                        resolved_at,
-                        current_path: label,
-                        back_step: false,
-                    });
+                    state.stats.tree_nodes += 1;
+                    if trace {
+                        state.steps.push(MergeStep {
+                            decided: decided.to_cube(),
+                            condition,
+                            resolved_at,
+                            current_path: label,
+                            back_step: false,
+                        });
+                    }
                     decided.assign(condition, value);
                     let mark = fixed.mark();
                     lock_stack.push(fixed);
@@ -641,32 +708,35 @@ impl Merger<'_> {
                         .expect("the branch lock set outlives its subtree")
                         .rollback(mark);
                     decided.unassign(condition);
-                    let decided_cube = decided.to_cube();
+                    let node_cube = decided.to_cube();
 
                     // ...and take the back-step: the condition takes the
                     // opposite value; a new current schedule is selected
                     // among the reachable paths and adjusted.
                     decided.assign(condition, !value);
-                    let Some(new_idx) = self.select_track(&decided) else {
+                    let Some(new_idx) = self.select_track(decided) else {
                         decided.unassign(condition);
                         continue;
                     };
-                    let mut locks = lock_pool
+                    let mut locks = state
+                        .lock_pool
                         .pop()
                         .unwrap_or_else(|| LockSet::for_graph(self.cpg));
                     locks.clear();
-                    self.locks_from_table_into(&mut locks, new_idx, &decided, condition);
-                    let mut adjusted = schedule_pool.pop().unwrap_or_default();
-                    self.adjust_into(new_idx, &mut locks, &decided, &mut adjusted);
-                    self.stats.tree_nodes += 1;
-                    self.stats.adjustments += 1;
-                    self.steps.push(MergeStep {
-                        decided: decided_cube,
-                        condition,
-                        resolved_at,
-                        current_path: self.tracks.tracks()[new_idx].label(),
-                        back_step: true,
-                    });
+                    self.locks_from_table_into(view, &mut locks, new_idx, decided, condition);
+                    let mut adjusted = state.schedule_pool.pop().unwrap_or_default();
+                    self.adjust_into(state, view, new_idx, &mut locks, decided, &mut adjusted);
+                    state.stats.tree_nodes += 1;
+                    state.stats.adjustments += 1;
+                    if trace {
+                        state.steps.push(MergeStep {
+                            decided: node_cube,
+                            condition,
+                            resolved_at,
+                            current_path: self.tracks.tracks()[new_idx].label(),
+                            back_step: true,
+                        });
+                    }
                     lock_stack.push(locks);
                     tasks.push(WalkTask::AfterBack { condition });
                     tasks.push(WalkTask::Enter {
@@ -679,10 +749,200 @@ impl Merger<'_> {
                     let branch_locks = lock_stack
                         .pop()
                         .expect("the back-step branch pushed its lock set");
-                    lock_pool.push(branch_locks);
+                    state.lock_pool.push(branch_locks);
                 }
             }
         }
+        // Recycle the root branch's lock set for the next subtree.
+        state.lock_pool.append(&mut lock_stack);
+    }
+
+    /// The speculative decision-tree walk: identical decisions to
+    /// [`walk_serial`](Self::walk_serial), with sibling subtrees explored
+    /// concurrently on the fork-join pool.
+    ///
+    /// At every node whose thread budget allows it, the two subtrees run in
+    /// parallel over *transactional* overlays of a frozen snapshot of the
+    /// table ([`TableTxn`]): the forward subtree on the calling worker, the
+    /// back subtree on a spawned one with its own fresh [`WalkState`]. When
+    /// both return, the write logs commit in tree order — the forward log
+    /// unconditionally (its snapshot *was* the exact serial state: the
+    /// serial walk runs the forward subtree first and nothing else writes
+    /// in between), the back log only after [`cpg_table::TxnLog::validate`]
+    /// proves the speculation read no row the forward subtree wrote and
+    /// created no column the forward subtree also created. A back log that
+    /// fails validation is discarded wholesale — writes, counters and traced
+    /// steps — and the branch re-runs against the committed table with the
+    /// node's (now otherwise idle) full budget. Either way every write lands
+    /// in the exact state the serial walk would have produced, so the merge
+    /// output is bit-identical for every thread count and selection policy.
+    ///
+    /// The budget splits between the subtrees proportionally to the number
+    /// of alternative paths each still covers ([`fj::join_with_cost`]); a
+    /// branch whose share is one degrades to the serial walk, so speculation
+    /// depth is bounded by the thread count, not the tree depth.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_par<V: TableView + Sync>(
+        &self,
+        state: &mut WalkState,
+        view: &mut V,
+        budget: usize,
+        track_idx: usize,
+        mut schedule: PathSchedule,
+        decided: &mut Assignment,
+        mut fixed: LockSet,
+    ) {
+        if budget <= 1 {
+            self.walk_serial(state, view, track_idx, schedule, decided, fixed);
+            return;
+        }
+        let next = self.place_phase(state, view, track_idx, &mut schedule, decided, &mut fixed);
+        let Some((condition, resolved_at)) = next else {
+            state.schedule_pool.push(schedule);
+            state.lock_pool.push(fixed);
+            return;
+        };
+
+        let label = self.tracks.tracks()[track_idx].label();
+        let value = label
+            .polarity_of(condition)
+            .expect("a condition resolved on a path appears in its label");
+        let node_cube = decided.to_cube();
+        state.stats.tree_nodes += 1;
+        if self.config.trace() {
+            state.steps.push(MergeStep {
+                decided: node_cube,
+                condition,
+                resolved_at,
+                current_path: label,
+                back_step: false,
+            });
+        }
+
+        // Probe the back branch before forking: the serial walk selects it
+        // only after the forward subtree, but the selection depends solely
+        // on the decided conditions, so the choice is already known here.
+        let mut decided_back = decided.clone();
+        decided_back.assign(condition, !value);
+        let back_idx = self.select_track(&decided_back);
+        let cost_back = self.reachable_count(&decided_back) as u64;
+
+        decided.assign(condition, value);
+        let Some(back_idx) = back_idx else {
+            // No reachable path takes the flipped value: a pure forward
+            // chain keeps the whole budget.
+            self.walk_par(state, view, budget, track_idx, schedule, decided, fixed);
+            decided.unassign(condition);
+            return;
+        };
+        let cost_fwd = self.reachable_count(decided) as u64;
+
+        // Freeze the table: both subtrees speculate over transactional
+        // overlays of this snapshot. The forward subtree stays on this
+        // worker (its writes are the ones that commit first), the back
+        // subtree moves to a spawned scope with fresh scratch state.
+        let frozen: &(dyn TableView + Sync) = &*view;
+        let mut txn_fwd = TableTxn::new(frozen);
+        let txn_back = TableTxn::new(frozen);
+        let mut decided_spec = decided_back.clone();
+        let ((), (txn_back, back_state)) = fj::join_with_cost(
+            budget,
+            cost_fwd,
+            cost_back,
+            |fwd_budget| {
+                self.walk_par(
+                    state,
+                    &mut txn_fwd,
+                    fwd_budget,
+                    track_idx,
+                    schedule,
+                    decided,
+                    fixed,
+                );
+            },
+            move |back_budget| {
+                let mut txn_back = txn_back;
+                let mut back_state = WalkState::new();
+                self.back_branch(
+                    &mut back_state,
+                    &mut txn_back,
+                    back_budget,
+                    back_idx,
+                    &mut decided_spec,
+                    node_cube,
+                    condition,
+                    resolved_at,
+                );
+                (txn_back, back_state)
+            },
+        );
+        decided.unassign(condition);
+
+        // Commit in tree order: the forward log first — always valid, since
+        // its snapshot was the exact state the serial walk would have seen —
+        // then the back speculation, but only if it read nothing the forward
+        // subtree changed.
+        let forward_log = txn_fwd.into_log();
+        let back_log = txn_back.into_log();
+        forward_log.commit_into(view);
+        if back_log.validate(view) {
+            back_log.commit_into(view);
+            state.absorb_output(back_state);
+        } else {
+            // Stale speculation: drop the whole attempt (writes, counters
+            // and steps alike) and re-run the branch against the committed
+            // table, handing it the node's full budget.
+            drop(back_state);
+            self.back_branch(
+                state,
+                view,
+                budget,
+                back_idx,
+                &mut decided_back,
+                node_cube,
+                condition,
+                resolved_at,
+            );
+        }
+    }
+
+    /// One back-step branch of the speculative walk: inherit the ancestor
+    /// locks from the view, adjust the newly selected schedule around them
+    /// and walk the subtree. `decided` already carries the flipped
+    /// condition; `node_cube` is the tree path to the node *without* it (the
+    /// cube both oracles record in the traced back-step).
+    #[allow(clippy::too_many_arguments)]
+    fn back_branch<V: TableView + Sync>(
+        &self,
+        state: &mut WalkState,
+        view: &mut V,
+        budget: usize,
+        back_idx: usize,
+        decided: &mut Assignment,
+        node_cube: Cube,
+        condition: CondId,
+        resolved_at: Time,
+    ) {
+        let mut locks = state
+            .lock_pool
+            .pop()
+            .unwrap_or_else(|| LockSet::for_graph(self.cpg));
+        locks.clear();
+        self.locks_from_table_into(view, &mut locks, back_idx, decided, condition);
+        let mut adjusted = state.schedule_pool.pop().unwrap_or_default();
+        self.adjust_into(state, view, back_idx, &mut locks, decided, &mut adjusted);
+        state.stats.tree_nodes += 1;
+        state.stats.adjustments += 1;
+        if self.config.trace() {
+            state.steps.push(MergeStep {
+                decided: node_cube,
+                condition,
+                resolved_at,
+                current_path: self.tracks.tracks()[back_idx].label(),
+                back_step: true,
+            });
+        }
+        self.walk_par(state, view, budget, back_idx, adjusted, decided, locks);
     }
 
     /// The placement phase of one decision-tree node: fixes activation times
@@ -690,15 +950,17 @@ impl Merger<'_> {
     /// resolved (or the schedule ends), re-adjusting the schedule in place
     /// when a conflict repair moves a process. Returns the next undecided
     /// condition resolution, if any.
-    fn place_phase(
-        &mut self,
+    fn place_phase<V: TableView + ?Sized>(
+        &self,
+        state: &mut WalkState,
+        view: &mut V,
         track_idx: usize,
         schedule: &mut PathSchedule,
         decided: &Assignment,
         fixed: &mut LockSet,
-        spare: &mut PathSchedule,
     ) -> Option<(CondId, Time)> {
-        loop {
+        let mut spare = std::mem::take(&mut state.spare);
+        let next = loop {
             // The scheduler caches the resolutions sorted by (time, cond),
             // so the first undecided one is the earliest.
             let next = schedule
@@ -727,7 +989,7 @@ impl Merger<'_> {
                         continue;
                     }
                 }
-                match self.place(schedule, decided, sj.job(), sj.start(), sj.pe()) {
+                match self.place(state, view, schedule, decided, sj) {
                     Placement::Kept(resource) => {
                         fixed.insert_pinned(sj.job(), sj.start(), resource);
                     }
@@ -736,31 +998,36 @@ impl Merger<'_> {
                         // The re-adjusted schedule lands in `spare`, which
                         // then swaps with the (dead) current schedule — the
                         // old buffer becomes the next repair's target.
-                        self.adjust_into(track_idx, fixed, decided, spare);
-                        std::mem::swap(schedule, spare);
+                        self.adjust_into(state, view, track_idx, fixed, decided, &mut spare);
+                        std::mem::swap(schedule, &mut spare);
                         repaired = true;
                         break;
                     }
                 }
             }
             if !repaired {
-                return next;
+                break next;
             }
-        }
+        };
+        state.spare = spare;
+        next
     }
 
     /// The original recursive clone-per-node decision-tree walk, kept as the
-    /// reference oracle for the differential tests of the undo-log walk: the
-    /// decided conditions, the lock set and (on repairs and back-steps) the
-    /// current schedule are cloned at every node instead of journalled.
+    /// reference oracle for the differential tests of the production walks:
+    /// the decided conditions, the lock set and (on repairs and back-steps)
+    /// the current schedule are cloned at every node instead of journalled.
     #[cfg(any(test, feature = "test-util"))]
-    fn walk_cloning(
-        &mut self,
+    fn walk_cloning<V: TableView + ?Sized>(
+        &self,
+        state: &mut WalkState,
+        view: &mut V,
         track_idx: usize,
         schedule: PathSchedule,
         decided: Assignment,
         mut fixed: LockSet,
     ) {
+        let trace = self.config.trace();
         let mut schedule = schedule;
         let label = self.tracks.tracks()[track_idx].label();
 
@@ -792,13 +1059,13 @@ impl Merger<'_> {
                         continue;
                     }
                 }
-                match self.place(&schedule, &decided, sj.job(), sj.start(), sj.pe()) {
+                match self.place(state, view, &schedule, &decided, sj) {
                     Placement::Kept(resource) => {
                         fixed.insert_pinned(sj.job(), sj.start(), resource);
                     }
                     Placement::Moved(new_time, resource) => {
                         fixed.insert_pinned(sj.job(), new_time, resource);
-                        schedule = self.adjust(track_idx, &mut fixed, &decided);
+                        schedule = self.adjust(state, view, track_idx, &mut fixed, &decided);
                         repaired = true;
                         break;
                     }
@@ -821,17 +1088,19 @@ impl Merger<'_> {
 
         // Continue with the same schedule: the condition takes the value of
         // the current path (no back-step).
-        self.stats.tree_nodes += 1;
-        self.steps.push(MergeStep {
-            decided: decided.to_cube(),
-            condition,
-            resolved_at,
-            current_path: label,
-            back_step: false,
-        });
+        state.stats.tree_nodes += 1;
+        if trace {
+            state.steps.push(MergeStep {
+                decided: decided.to_cube(),
+                condition,
+                resolved_at,
+                current_path: label,
+                back_step: false,
+            });
+        }
         let mut decided_fwd = decided.clone();
         decided_fwd.assign(condition, value);
-        self.walk_cloning(track_idx, schedule, decided_fwd, fixed.clone());
+        self.walk_cloning(state, view, track_idx, schedule, decided_fwd, fixed.clone());
 
         // Back-step: the condition takes the opposite value; a new current
         // schedule is selected among the reachable paths and adjusted.
@@ -841,18 +1110,20 @@ impl Merger<'_> {
             return;
         };
         let mut locks = LockSet::for_graph(self.cpg);
-        self.locks_from_table_into(&mut locks, new_idx, &decided_back, condition);
-        let adjusted = self.adjust(new_idx, &mut locks, &decided_back);
-        self.stats.tree_nodes += 1;
-        self.stats.adjustments += 1;
-        self.steps.push(MergeStep {
-            decided: decided.to_cube(),
-            condition,
-            resolved_at,
-            current_path: self.tracks.tracks()[new_idx].label(),
-            back_step: true,
-        });
-        self.walk_cloning(new_idx, adjusted, decided_back, locks);
+        self.locks_from_table_into(view, &mut locks, new_idx, &decided_back, condition);
+        let adjusted = self.adjust(state, view, new_idx, &mut locks, &decided_back);
+        state.stats.tree_nodes += 1;
+        state.stats.adjustments += 1;
+        if trace {
+            state.steps.push(MergeStep {
+                decided: decided.to_cube(),
+                condition,
+                resolved_at,
+                current_path: self.tracks.tracks()[new_idx].label(),
+                back_step: true,
+            });
+        }
+        self.walk_cloning(state, view, new_idx, adjusted, decided_back, locks);
     }
 
     /// Rule 3: activation times already fixed in columns that depend only on
@@ -864,10 +1135,11 @@ impl Merger<'_> {
     /// `decided` is the assignment *including* the condition `resolved` that
     /// the back-step flipped; the ancestor conditions are exactly the decided
     /// ones other than `resolved`. The locks land in the caller-provided
-    /// (pooled, cleared) set; every row probe resolves through the schedule
-    /// table's dense per-job index.
-    fn locks_from_table_into(
+    /// (pooled, cleared) set; every row probe resolves through the view's
+    /// dense per-job index.
+    fn locks_from_table_into<V: TableView + ?Sized>(
         &self,
+        view: &V,
         locks: &mut LockSet,
         track_idx: usize,
         decided: &Assignment,
@@ -877,7 +1149,7 @@ impl Merger<'_> {
         let decided_cube = decided.to_cube();
         for job in self.track_jobs(track) {
             let mut best: Option<(usize, Time, Option<PeId>)> = None;
-            for (column, time, resource) in self.table.entries_on(job) {
+            view.for_each_entry_on(job, &mut |column, time, resource| {
                 let ancestors_only = column
                     .conditions()
                     .all(|c| c != resolved && decided.value(c).is_some());
@@ -887,7 +1159,7 @@ impl Merger<'_> {
                         best = Some((specificity, time, resource));
                     }
                 }
-            }
+            });
             if let Some((_, time, resource)) = best {
                 locks.insert_pinned(job, time, resource);
             }
@@ -907,43 +1179,46 @@ impl Merger<'_> {
 
     /// Rules 2 and 4: place one activation time, repairing conflicts by the
     /// Theorem-2 loop when necessary.
-    fn place(
-        &mut self,
+    fn place<V: TableView + ?Sized>(
+        &self,
+        state: &mut WalkState,
+        view: &mut V,
         schedule: &PathSchedule,
         decided: &Assignment,
-        job: Job,
-        start: Time,
-        pe: Option<PeId>,
+        sj: ScheduledJob,
     ) -> Placement {
+        let (job, start, pe) = (sj.job(), sj.start(), sj.pe());
         let column = self.column_for(schedule, decided, pe, start);
-        let mut candidates = std::mem::take(&mut self.candidates_buf);
+        let mut candidates = std::mem::take(&mut state.candidates_buf);
         candidates.clear();
-        candidates.extend(
-            self.table
-                .entries_on(job)
-                .filter(|(existing, t, _)| existing.compatible(&column) && *t != start)
-                .map(|(_, t, resource)| (t, resource)),
-        );
+        view.for_each_entry_on(job, &mut |existing, t, resource| {
+            if existing.compatible(&column) && t != start {
+                candidates.push((t, resource));
+            }
+        });
 
         if candidates.is_empty() {
-            self.candidates_buf = candidates;
-            let resource = if self.table.get(job, &column) == Some(start) {
-                self.table.resource(job, &column).or(pe)
+            state.candidates_buf = candidates;
+            let resource = if view.get(job, &column) == Some(start) {
+                view.resource(job, &column).or(pe)
             } else {
                 // Compatible cells at the same time must agree on the
                 // recorded resource: an execution satisfying two compatible
                 // columns dispatches the activation once, on one resource, so
                 // the first recorded provenance wins over the track-local
                 // choice of later schedules.
-                let resource = self
-                    .table
-                    .entries_on(job)
-                    .find(|(existing, time, recorded)| {
-                        *time == start && recorded.is_some() && existing.compatible(&column)
-                    })
-                    .and_then(|(_, _, recorded)| recorded)
-                    .or(pe);
-                self.table.set_on(job, column, start, resource);
+                let mut adopted: Option<PeId> = None;
+                view.for_each_entry_on(job, &mut |existing, time, recorded| {
+                    if adopted.is_none()
+                        && time == start
+                        && recorded.is_some()
+                        && existing.compatible(&column)
+                    {
+                        adopted = recorded;
+                    }
+                });
+                let resource = adopted.or(pe);
+                view.set_on(job, column, start, resource);
                 resource
             };
             return Placement::Kept(resource);
@@ -957,25 +1232,25 @@ impl Merger<'_> {
         for at in 0..candidates.len() {
             let (candidate, resource) = candidates[at];
             let moved_column = self.column_for(schedule, decided, pe, candidate);
-            let still_conflicts = self
-                .table
-                .compatible_entries(job, &moved_column)
-                .any(|(_, t)| t != candidate);
+            let mut still_conflicts = false;
+            view.for_each_entry_on(job, &mut |existing, t, _| {
+                still_conflicts |= existing.compatible(&moved_column) && t != candidate;
+            });
             if !still_conflicts {
-                if self.table.get(job, &moved_column) != Some(candidate) {
-                    self.table.set_on(job, moved_column, candidate, resource);
+                if view.get(job, &moved_column) != Some(candidate) {
+                    view.set_on(job, moved_column, candidate, resource);
                 }
-                self.stats.conflicts_repaired += 1;
-                self.candidates_buf = candidates;
+                state.stats.conflicts_repaired += 1;
+                state.candidates_buf = candidates;
                 return Placement::Moved(candidate, resource);
             }
         }
-        self.candidates_buf = candidates;
+        state.candidates_buf = candidates;
 
         // Should not happen for well-formed inputs (Theorem 2); keep the
         // original time and record the requirement-2 violation.
-        self.stats.unrepaired_conflicts += 1;
-        self.table.set_on(job, column, start, pe);
+        state.stats.unrepaired_conflicts += 1;
+        view.set_on(job, column, start, pe);
         Placement::Kept(pe)
     }
 
@@ -1100,7 +1375,13 @@ mod tests {
     #[test]
     fn decision_tree_has_one_forward_and_one_back_step_per_node() {
         let system = examples::fig1();
-        let result = merge(&system);
+        // Steps are recorded only under tracing (off by default, to keep the
+        // hot walk allocation-free).
+        let result = generate_schedule_table(
+            system.cpg(),
+            system.arch(),
+            &MergeConfig::new(system.broadcast_time()).with_trace(true),
+        );
         let forward = result.steps().iter().filter(|s| !s.back_step).count();
         let back = result.steps().iter().filter(|s| s.back_step).count();
         assert_eq!(forward, back);
@@ -1109,6 +1390,15 @@ mod tests {
         assert_eq!(forward, result.tracks().len() - 1);
         assert_eq!(result.stats().tree_nodes, forward + back);
         assert_eq!(result.stats().adjustments, back);
+    }
+
+    #[test]
+    fn steps_stay_empty_without_tracing() {
+        let system = examples::fig1();
+        let result = merge(&system);
+        assert!(result.steps().is_empty());
+        // The stats counters are collected regardless.
+        assert!(result.stats().tree_nodes > 0);
     }
 
     #[test]
@@ -1269,10 +1559,12 @@ mod tests {
 
     /// Field-wise comparison of the undo-log walk against the clone-per-node
     /// oracle (the broad random coverage lives in the workspace-level
-    /// differential proptest; this pins the crafted examples).
+    /// differential proptest; this pins the crafted examples). Tracing is
+    /// forced on so the step-by-step visit order is compared too.
     fn assert_walks_identical(cpg: &Cpg, arch: &Architecture, config: &MergeConfig) {
-        let undo = generate_schedule_table(cpg, arch, config);
-        let oracle = generate_schedule_table_cloning(cpg, arch, config);
+        let config = config.with_trace(true);
+        let undo = generate_schedule_table(cpg, arch, &config);
+        let oracle = generate_schedule_table_cloning(cpg, arch, &config);
         assert_eq!(undo.table(), oracle.table());
         assert_eq!(undo.tracks(), oracle.tracks());
         assert_eq!(undo.path_schedules(), oracle.path_schedules());
@@ -1302,6 +1594,78 @@ mod tests {
         let result = generate_schedule_table(&cpg, &arch, &config);
         assert!(result.stats().slip_repairs > 0);
         assert_walks_identical(&cpg, &arch, &config);
+    }
+
+    /// The speculative walk must be bit-identical to the serial walk for
+    /// every thread budget and policy (the broad random coverage lives in
+    /// the workspace-level differential proptest; this pins the crafted
+    /// examples and the slip-forcing system).
+    fn assert_budgets_identical(cpg: &Cpg, arch: &Architecture, base: MergeConfig) {
+        let base = base.with_trace(true);
+        let serial = generate_schedule_table(cpg, arch, &base.with_threads(1));
+        for threads in [2, 4, 8] {
+            let par = generate_schedule_table(cpg, arch, &base.with_threads(threads));
+            assert_eq!(
+                serial.table(),
+                par.table(),
+                "table diverged at {threads} threads"
+            );
+            assert_eq!(serial.path_schedules(), par.path_schedules());
+            assert_eq!(serial.delta_m(), par.delta_m());
+            assert_eq!(serial.delta_max(), par.delta_max());
+            assert_eq!(
+                serial.steps(),
+                par.steps(),
+                "steps diverged at {threads} threads"
+            );
+            assert_eq!(
+                serial.stats(),
+                par.stats(),
+                "stats diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_walk_is_bit_identical_for_every_budget() {
+        for system in [
+            examples::diamond(),
+            examples::sensor_actuator(),
+            examples::fig1(),
+        ] {
+            assert_budgets_identical(
+                system.cpg(),
+                system.arch(),
+                MergeConfig::new(system.broadcast_time()),
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_walk_is_bit_identical_across_policies_and_slips() {
+        let (arch, cpg) = slipping_system();
+        for policy in [
+            SelectionPolicy::LongestDelayFirst,
+            SelectionPolicy::ShortestDelayFirst,
+            SelectionPolicy::EnumerationOrder,
+        ] {
+            assert_budgets_identical(
+                &cpg,
+                &arch,
+                MergeConfig::new(Time::new(2)).with_selection(policy),
+            );
+        }
+        let system = examples::fig1();
+        for policy in [
+            SelectionPolicy::ShortestDelayFirst,
+            SelectionPolicy::EnumerationOrder,
+        ] {
+            assert_budgets_identical(
+                system.cpg(),
+                system.arch(),
+                MergeConfig::new(system.broadcast_time()).with_selection(policy),
+            );
+        }
     }
 
     #[test]

@@ -58,6 +58,20 @@ pub struct MergeStats {
     pub lock_slips: usize,
 }
 
+impl MergeStats {
+    /// Folds the counters of another partial into this one. The parallel walk
+    /// accumulates per-subtree partials and merges them in tree order, so the
+    /// totals are identical to a serial walk for every thread count.
+    pub(crate) fn absorb(&mut self, other: MergeStats) {
+        self.tree_nodes += other.tree_nodes;
+        self.adjustments += other.adjustments;
+        self.conflicts_repaired += other.conflicts_repaired;
+        self.unrepaired_conflicts += other.unrepaired_conflicts;
+        self.slip_repairs += other.slip_repairs;
+        self.lock_slips += other.lock_slips;
+    }
+}
+
 /// The output of [`generate_schedule_table`](crate::generate_schedule_table).
 #[derive(Debug, Clone)]
 pub struct MergeResult {
@@ -138,6 +152,11 @@ impl MergeResult {
     }
 
     /// The decision-tree nodes visited during merging, in visit order.
+    ///
+    /// Empty unless tracing was enabled via
+    /// [`MergeConfig::with_trace`](crate::MergeConfig::with_trace) — recording
+    /// a step per node costs an allocation on the hot walk, so it is off by
+    /// default. The [`stats`](Self::stats) counters are always collected.
     #[must_use]
     pub fn steps(&self) -> &[MergeStep] {
         &self.steps

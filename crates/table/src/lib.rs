@@ -28,8 +28,10 @@ mod analysis;
 mod dispatch;
 mod error;
 mod table;
+mod txn;
 
 pub use analysis::{to_csv, utilization, ResourceLoad};
 pub use dispatch::{per_processor_dispatch, DispatchEntry, DispatchTable};
 pub use error::TableViolation;
 pub use table::ScheduleTable;
+pub use txn::{TableTxn, TableView, TxnLog};

@@ -74,6 +74,14 @@ pub struct ScheduleTable {
     /// Condition index -> position in `rows` of the condition's broadcast
     /// row, grown on demand.
     broadcast_rows: Vec<u32>,
+    /// Process index -> number of writes ever applied to the process's row
+    /// (grown on demand, 0 when never written). Versions survive row removal
+    /// so an optimistic reader can detect a remove/re-insert cycle; they are
+    /// bookkeeping for [`crate::TableTxn`] validation and take no part in
+    /// table equality.
+    process_versions: Vec<u64>,
+    /// Condition index -> write count of the condition's broadcast row.
+    broadcast_versions: Vec<u64>,
 }
 
 // The dense row indices are derived from `rows` (their length additionally
@@ -132,6 +140,7 @@ impl ScheduleTable {
 
     /// The position of the row of `job` in the dense index, if the job has
     /// one.
+    #[inline]
     fn row_position(&self, job: Job) -> Option<usize> {
         let (index, slot) = match job {
             Job::Process(pid) => (&self.process_rows, pid.index()),
@@ -144,6 +153,7 @@ impl ScheduleTable {
             .map(|position| position as usize)
     }
 
+    #[inline]
     fn row(&self, job: Job) -> Option<&Row> {
         self.row_position(job).map(|position| &self.rows[position])
     }
@@ -159,6 +169,39 @@ impl ScheduleTable {
             index.resize(slot + 1, ABSENT);
         }
         index[slot] = position;
+    }
+
+    /// The number of writes ([`ScheduleTable::set_on`] and
+    /// [`ScheduleTable::remove`] calls) ever applied to the row of `job`;
+    /// 0 when the job has never been written.
+    ///
+    /// The version is bumped on every write — including an overwrite with the
+    /// same cell value — and is *not* reset when the last entry of a row is
+    /// removed, so two equal versions observed at different times guarantee
+    /// the row content did not change in between. [`crate::TableTxn`] builds
+    /// its read-set validation on this.
+    #[must_use]
+    #[inline]
+    pub fn row_version(&self, job: Job) -> u64 {
+        let (versions, slot) = match job {
+            Job::Process(pid) => (&self.process_versions, pid.index()),
+            Job::Broadcast(cond) => (&self.broadcast_versions, cond.index()),
+        };
+        versions.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Bumps the write counter of the row of `job`, growing the version
+    /// vector on demand.
+    #[inline]
+    fn bump_version(&mut self, job: Job) {
+        let (versions, slot) = match job {
+            Job::Process(pid) => (&mut self.process_versions, pid.index()),
+            Job::Broadcast(cond) => (&mut self.broadcast_versions, cond.index()),
+        };
+        if versions.len() <= slot {
+            versions.resize(slot + 1, 0);
+        }
+        versions[slot] += 1;
     }
 
     /// The position of the row of `job`, inserting an empty row (keeping
@@ -200,6 +243,7 @@ impl ScheduleTable {
     /// produced the time (`None` for dummy jobs, which consume no resource).
     /// Creates the column when it does not exist yet and returns the
     /// previously stored time for that cell, if any.
+    #[inline]
     pub fn set_on(
         &mut self,
         job: Job,
@@ -209,6 +253,7 @@ impl ScheduleTable {
     ) -> Option<Time> {
         let index = self.column_index_or_insert(column) as u32;
         let position = self.row_position_or_insert(job);
+        self.bump_version(job);
         let entries = &mut self.rows[position].entries;
         match entries.binary_search_by_key(&index, |&(i, _)| i) {
             Ok(at) => {
@@ -230,6 +275,8 @@ impl ScheduleTable {
         let entries = &mut self.rows[position].entries;
         let at = entries.binary_search_by_key(&index, |&(i, _)| i).ok()?;
         let (_, cell) = entries.remove(at);
+        self.bump_version(job);
+        let entries = &mut self.rows[position].entries;
         if entries.is_empty() {
             self.rows.remove(position);
             self.index_row(job, ABSENT);
@@ -242,6 +289,7 @@ impl ScheduleTable {
     }
 
     /// The cell of `job` under the exact column index, if present.
+    #[inline]
     fn cell(&self, job: Job, index: usize) -> Option<&Cell> {
         let row = self.row(job)?;
         let at = row
@@ -253,6 +301,7 @@ impl ScheduleTable {
 
     /// The activation time of `job` in the column headed exactly by `column`.
     #[must_use]
+    #[inline]
     pub fn get(&self, job: Job, column: &Cube) -> Option<Time> {
         let index = self.column_index(column)?;
         self.cell(job, index).map(|cell| cell.time)
@@ -261,6 +310,7 @@ impl ScheduleTable {
     /// The resource recorded for `job` in the column headed exactly by
     /// `column`, when the cell exists and carries provenance.
     #[must_use]
+    #[inline]
     pub fn resource(&self, job: Job, column: &Cube) -> Option<PeId> {
         let index = self.column_index(column)?;
         self.cell(job, index).and_then(|cell| cell.resource)
@@ -553,10 +603,43 @@ impl ScheduleTable {
         out
     }
 
+    #[inline]
     fn column_index(&self, column: &Cube) -> Option<usize> {
         self.columns.iter().position(|c| c == column)
     }
 
+    /// The insertion-order index of `column`, if the table has that column.
+    #[inline]
+    pub(crate) fn column_position(&self, column: &Cube) -> Option<usize> {
+        self.column_index(column)
+    }
+
+    /// Visits the entries of the row of `job` in column-index order, passing
+    /// the table-wide column index as a stable sort key.
+    ///
+    /// `#[inline]` (like on the other probe methods) so the merge walk's
+    /// monomorphized hot loops can inline the scan across the crate boundary
+    /// and devirtualize the visitor closure, matching the cost of direct
+    /// slice iteration.
+    #[inline]
+    pub(crate) fn visit_keyed_entries(
+        &self,
+        job: Job,
+        visit: &mut dyn FnMut(u64, Cube, Time, Option<PeId>),
+    ) {
+        if let Some(row) = self.row(job) {
+            for &(index, cell) in &row.entries {
+                visit(
+                    u64::from(index),
+                    self.columns[index as usize],
+                    cell.time,
+                    cell.resource,
+                );
+            }
+        }
+    }
+
+    #[inline]
     fn column_index_or_insert(&mut self, column: Cube) -> usize {
         match self.column_index(&column) {
             Some(index) => index,

@@ -1,0 +1,629 @@
+//! Optimistic write transactions over a [`ScheduleTable`].
+//!
+//! The parallel decision-tree walk of the `cpg-merge` crate runs sibling
+//! subtrees speculatively: each subtree buffers its `place`/`repair_slip`
+//! writes in a [`TableTxn`] layered over a frozen base view, together with a
+//! read set over per-row write versions. When the subtrees join, the logs are
+//! committed *in tree order*: the forward subtree's log first (its snapshot
+//! was, by construction, exactly the state the serial walk would have seen,
+//! so it commits unconditionally), then the back subtree's log — but only
+//! after [`TxnLog::validate`] proves the speculation read nothing the forward
+//! subtree changed. A back log that fails validation is discarded wholesale
+//! and its branch re-runs non-speculatively against the updated table, which
+//! keeps the merge output bit-identical to the serial walk.
+//!
+//! Two ingredients make the validation sound:
+//!
+//! * **Row versions** ([`ScheduleTable::row_version`]): every row carries a
+//!   write counter; a transaction records `(job, version)` on *every* read
+//!   and the log replays only if all recorded versions still match.
+//! * **Column-creation tracking**: a transaction that creates a column keys
+//!   it past the base's column bound, preserving the relative entry order the
+//!   serial walk would produce. If a sibling committed the *same* column cube
+//!   first, the global column order (and hence row-entry iteration order)
+//!   would differ from the speculation's view, so [`TxnLog::validate`] also
+//!   fails when any transaction-created column already exists in the base.
+//!
+//! Transactions nest: a [`TableTxn`] implements [`TableView`] itself, so a
+//! deeper fork inside a speculative subtree simply layers further
+//! transactions over it. Reads are recorded through a mutex because sibling
+//! child transactions read through a shared `&TableTxn` from their worker
+//! threads; the overlay rows themselves are only written through `&mut self`
+//! and are therefore frozen while shared.
+
+use std::sync::Mutex;
+
+use cpg::Cube;
+use cpg_arch::{PeId, Time};
+use cpg_path_sched::Job;
+
+use crate::ScheduleTable;
+
+/// The table operations the merge walk needs, abstracted so the walk can run
+/// against the real [`ScheduleTable`] or a speculative [`TableTxn`] overlay.
+///
+/// The trait is object-safe ([`TableTxn`] holds its base as
+/// `&dyn TableView + Sync`, so arbitrarily deep nesting monomorphizes to a
+/// single transaction type) and deliberately excludes `remove`: the walk only
+/// ever adds or overwrites activation times.
+pub trait TableView {
+    /// The activation time of `job` in the column headed exactly by `column`.
+    fn get(&self, job: Job, column: &Cube) -> Option<Time>;
+
+    /// The resource recorded for `job` in the column headed exactly by
+    /// `column`, when the cell exists and carries provenance.
+    fn resource(&self, job: Job, column: &Cube) -> Option<PeId>;
+
+    /// Records the activation time of `job` under `column` together with the
+    /// resource provenance, creating the column when absent, and returns the
+    /// previously stored time for that cell, if any.
+    fn set_on(
+        &mut self,
+        job: Job,
+        column: Cube,
+        time: Time,
+        resource: Option<PeId>,
+    ) -> Option<Time>;
+
+    /// Visits the `(key, column, time, resource)` entries of the row of
+    /// `job`, ordered by `key` — a view-wide stand-in for the column
+    /// insertion index, chosen so that the iteration order matches what the
+    /// serial walk would observe on the real table.
+    fn for_each_keyed_entry_on(
+        &self,
+        job: Job,
+        visit: &mut dyn FnMut(u64, Cube, Time, Option<PeId>),
+    );
+
+    /// Visits the `(column, time, resource)` entries of the row of `job` in
+    /// the view's column order.
+    #[inline]
+    fn for_each_entry_on(&self, job: Job, visit: &mut dyn FnMut(Cube, Time, Option<PeId>)) {
+        self.for_each_keyed_entry_on(job, &mut |_, column, time, resource| {
+            visit(column, time, resource);
+        });
+    }
+
+    /// The write version of the row of `job` (0 when never written).
+    fn row_version(&self, job: Job) -> u64;
+
+    /// `true` when the view has a column headed exactly by `column`.
+    fn has_column(&self, column: &Cube) -> bool;
+
+    /// The sort key of `column` in this view, if the column exists.
+    fn column_key(&self, column: &Cube) -> Option<u64>;
+
+    /// The exclusive upper bound of the keys handed out so far; a
+    /// transaction layered over this view keys its fresh columns from here.
+    fn column_bound(&self) -> u64;
+}
+
+// The impl methods are `#[inline]`: the serial walk is monomorphized over
+// `V = ScheduleTable`, and without cross-crate inlining every row probe of
+// its hot loops would pay an opaque call plus a virtual visitor dispatch per
+// entry (the closures devirtualize once the scan is inlined to where the
+// concrete closure type is visible).
+impl TableView for ScheduleTable {
+    #[inline]
+    fn get(&self, job: Job, column: &Cube) -> Option<Time> {
+        ScheduleTable::get(self, job, column)
+    }
+
+    #[inline]
+    fn resource(&self, job: Job, column: &Cube) -> Option<PeId> {
+        ScheduleTable::resource(self, job, column)
+    }
+
+    #[inline]
+    fn set_on(
+        &mut self,
+        job: Job,
+        column: Cube,
+        time: Time,
+        resource: Option<PeId>,
+    ) -> Option<Time> {
+        ScheduleTable::set_on(self, job, column, time, resource)
+    }
+
+    #[inline]
+    fn for_each_keyed_entry_on(
+        &self,
+        job: Job,
+        visit: &mut dyn FnMut(u64, Cube, Time, Option<PeId>),
+    ) {
+        self.visit_keyed_entries(job, visit);
+    }
+
+    #[inline]
+    fn row_version(&self, job: Job) -> u64 {
+        ScheduleTable::row_version(self, job)
+    }
+
+    #[inline]
+    fn has_column(&self, column: &Cube) -> bool {
+        self.column_position(column).is_some()
+    }
+
+    #[inline]
+    fn column_key(&self, column: &Cube) -> Option<u64> {
+        self.column_position(column).map(|index| index as u64)
+    }
+
+    #[inline]
+    fn column_bound(&self) -> u64 {
+        self.num_columns() as u64
+    }
+}
+
+/// One buffered write of a transaction, replayed verbatim on commit.
+#[derive(Debug, Clone, Copy)]
+struct Write {
+    job: Job,
+    column: Cube,
+    time: Time,
+    resource: Option<PeId>,
+}
+
+/// One overlay row: the merged `(key, column, time, resource)` entries of the
+/// base row plus this transaction's writes, sorted by key, together with the
+/// number of writes the transaction applied to the row.
+#[derive(Debug)]
+struct TxnRow {
+    job: Job,
+    written: u64,
+    entries: Vec<(u64, Cube, Time, Option<PeId>)>,
+}
+
+/// A speculative write overlay over a frozen [`TableView`].
+///
+/// Reads fall through to the base until the transaction first writes a row,
+/// at which point the base row is cloned into the overlay; every read or
+/// write records the base row's version into the read set. Fresh columns are
+/// keyed past the base's [`TableView::column_bound`] in first-write order,
+/// which is exactly the insertion order a serial replay of the write log
+/// produces.
+pub struct TableTxn<'b> {
+    base: &'b (dyn TableView + Sync),
+    /// [`TableView::column_bound`] of the base at creation time.
+    base_bound: u64,
+    /// Column cubes this transaction created, in first-write order.
+    new_columns: Vec<Cube>,
+    /// Overlay rows, sorted by job.
+    rows: Vec<TxnRow>,
+    /// `(job, base version observed)` for every row this transaction read,
+    /// sorted by job. Behind a mutex because sibling child transactions read
+    /// through a shared `&TableTxn` from their worker threads.
+    reads: Mutex<Vec<(Job, u64)>>,
+    /// Chronological write log, replayed by [`TxnLog::commit_into`].
+    writes: Vec<Write>,
+}
+
+impl<'b> TableTxn<'b> {
+    /// Opens a transaction over `base`, which must not change (other than
+    /// through this transaction's eventual commit) while the transaction or
+    /// its log is validated against it — the read set records versions at
+    /// first touch.
+    #[must_use]
+    pub fn new(base: &'b (dyn TableView + Sync)) -> Self {
+        Self {
+            base_bound: base.column_bound(),
+            base,
+            new_columns: Vec::new(),
+            rows: Vec::new(),
+            reads: Mutex::new(Vec::new()),
+            writes: Vec::new(),
+        }
+    }
+
+    /// Records that the row of `job` was read, returning the base version.
+    fn note_read(&self, job: Job) -> u64 {
+        let version = self.base.row_version(job);
+        let mut reads = self.reads.lock().expect("transaction read set poisoned");
+        if let Err(at) = reads.binary_search_by_key(&job, |&(j, _)| j) {
+            reads.insert(at, (job, version));
+        }
+        version
+    }
+
+    fn overlay(&self, job: Job) -> Option<&TxnRow> {
+        self.rows
+            .binary_search_by_key(&job, |row| row.job)
+            .ok()
+            .map(|at| &self.rows[at])
+    }
+
+    /// The key of `column` in this view: the base's key when the base has
+    /// the column, else the transaction-local key when this transaction
+    /// created it.
+    fn key_of(&self, column: &Cube) -> Option<u64> {
+        self.base.column_key(column).or_else(|| {
+            self.new_columns
+                .iter()
+                .position(|c| c == column)
+                .map(|at| self.base_bound + at as u64)
+        })
+    }
+
+    fn key_or_insert(&mut self, column: Cube) -> u64 {
+        match self.key_of(&column) {
+            Some(key) => key,
+            None => {
+                self.new_columns.push(column);
+                self.base_bound + (self.new_columns.len() - 1) as u64
+            }
+        }
+    }
+
+    /// Number of buffered writes.
+    #[must_use]
+    pub fn num_writes(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Detaches the transaction from its base, yielding an owned log that
+    /// can be validated against and committed into the (now again mutable)
+    /// underlying view.
+    #[must_use]
+    pub fn into_log(self) -> TxnLog {
+        TxnLog {
+            reads: self
+                .reads
+                .into_inner()
+                .expect("transaction read set poisoned"),
+            new_columns: self.new_columns,
+            writes: self.writes,
+        }
+    }
+}
+
+impl TableView for TableTxn<'_> {
+    fn get(&self, job: Job, column: &Cube) -> Option<Time> {
+        self.note_read(job);
+        match self.overlay(job) {
+            Some(row) => {
+                let key = self.key_of(column)?;
+                row.entries
+                    .binary_search_by_key(&key, |&(k, ..)| k)
+                    .ok()
+                    .map(|at| row.entries[at].2)
+            }
+            None => self.base.get(job, column),
+        }
+    }
+
+    fn resource(&self, job: Job, column: &Cube) -> Option<PeId> {
+        self.note_read(job);
+        match self.overlay(job) {
+            Some(row) => {
+                let key = self.key_of(column)?;
+                row.entries
+                    .binary_search_by_key(&key, |&(k, ..)| k)
+                    .ok()
+                    .and_then(|at| row.entries[at].3)
+            }
+            None => self.base.resource(job, column),
+        }
+    }
+
+    fn set_on(
+        &mut self,
+        job: Job,
+        column: Cube,
+        time: Time,
+        resource: Option<PeId>,
+    ) -> Option<Time> {
+        self.note_read(job);
+        let key = self.key_or_insert(column);
+        let at = match self.rows.binary_search_by_key(&job, |row| row.job) {
+            Ok(at) => at,
+            Err(at) => {
+                // First write to this row: clone the base row into the
+                // overlay so later reads see a complete merged row.
+                let mut entries = Vec::new();
+                self.base.for_each_keyed_entry_on(job, &mut |k, c, t, r| {
+                    entries.push((k, c, t, r));
+                });
+                self.rows.insert(
+                    at,
+                    TxnRow {
+                        job,
+                        written: 0,
+                        entries,
+                    },
+                );
+                at
+            }
+        };
+        self.writes.push(Write {
+            job,
+            column,
+            time,
+            resource,
+        });
+        let row = &mut self.rows[at];
+        row.written += 1;
+        match row.entries.binary_search_by_key(&key, |&(k, ..)| k) {
+            Ok(slot) => {
+                let previous = row.entries[slot].2;
+                row.entries[slot] = (key, column, time, resource);
+                Some(previous)
+            }
+            Err(slot) => {
+                row.entries.insert(slot, (key, column, time, resource));
+                None
+            }
+        }
+    }
+
+    fn for_each_keyed_entry_on(
+        &self,
+        job: Job,
+        visit: &mut dyn FnMut(u64, Cube, Time, Option<PeId>),
+    ) {
+        self.note_read(job);
+        match self.overlay(job) {
+            Some(row) => {
+                for &(key, column, time, resource) in &row.entries {
+                    visit(key, column, time, resource);
+                }
+            }
+            None => self.base.for_each_keyed_entry_on(job, visit),
+        }
+    }
+
+    fn row_version(&self, job: Job) -> u64 {
+        let base = self.note_read(job);
+        base + self.overlay(job).map_or(0, |row| row.written)
+    }
+
+    fn has_column(&self, column: &Cube) -> bool {
+        self.base.has_column(column) || self.new_columns.contains(column)
+    }
+
+    fn column_key(&self, column: &Cube) -> Option<u64> {
+        self.key_of(column)
+    }
+
+    fn column_bound(&self) -> u64 {
+        self.base_bound + self.new_columns.len() as u64
+    }
+}
+
+/// The owned outcome of a [`TableTxn`]: its read set, created columns and
+/// chronological write log.
+#[derive(Debug)]
+pub struct TxnLog {
+    reads: Vec<(Job, u64)>,
+    new_columns: Vec<Cube>,
+    writes: Vec<Write>,
+}
+
+impl TxnLog {
+    /// `true` when the transaction buffered no writes (committing it would
+    /// be a no-op).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// `true` when the speculation still holds against `base`: every row the
+    /// transaction read is at the version it observed, and no column the
+    /// transaction created has meanwhile been created in the base (which
+    /// would give the replayed entries a different global order than the
+    /// speculation assumed).
+    #[must_use]
+    pub fn validate<V: TableView + ?Sized>(&self, base: &V) -> bool {
+        self.reads
+            .iter()
+            .all(|&(job, version)| base.row_version(job) == version)
+            && self
+                .new_columns
+                .iter()
+                .all(|column| !base.has_column(column))
+    }
+
+    /// Replays the buffered writes into `base` in their original order.
+    ///
+    /// Callers decide the policy: a forward-branch log commits
+    /// unconditionally (its snapshot was the serial state), a back-branch
+    /// log only after [`TxnLog::validate`].
+    pub fn commit_into<V: TableView + ?Sized>(&self, base: &mut V) {
+        for write in &self.writes {
+            base.set_on(write.job, write.column, write.time, write.resource);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpg::{CondId, ProcessId};
+
+    fn p(i: usize) -> Job {
+        Job::Process(ProcessId::from_index(i))
+    }
+
+    fn c(i: usize) -> CondId {
+        CondId::new(i)
+    }
+
+    fn cube_t(i: usize) -> Cube {
+        Cube::from(c(i).is_true())
+    }
+
+    fn cube_f(i: usize) -> Cube {
+        Cube::from(c(i).is_false())
+    }
+
+    #[test]
+    fn row_versions_count_writes_and_survive_removal() {
+        let mut table = ScheduleTable::new();
+        assert_eq!(table.row_version(p(1)), 0);
+        table.set(p(1), Cube::top(), Time::new(1));
+        assert_eq!(table.row_version(p(1)), 1);
+        // Overwriting with the identical value still counts as a write.
+        table.set(p(1), Cube::top(), Time::new(1));
+        assert_eq!(table.row_version(p(1)), 2);
+        table.remove(p(1), &Cube::top());
+        assert!(!table.contains_job(p(1)));
+        assert_eq!(table.row_version(p(1)), 3);
+        // Removing an absent entry is not a write.
+        table.remove(p(1), &Cube::top());
+        assert_eq!(table.row_version(p(1)), 3);
+        // Versions are bookkeeping, not content: a table with a different
+        // write history but the same cells compares equal.
+        let mut other = ScheduleTable::new();
+        other.set(p(1), Cube::top(), Time::new(1));
+        other.remove(p(1), &Cube::top());
+        assert_eq!(table, other);
+        assert_ne!(table.row_version(p(1)), other.row_version(p(1)));
+    }
+
+    #[test]
+    fn reads_fall_through_and_writes_overlay() {
+        let mut table = ScheduleTable::new();
+        table.set_on(p(1), Cube::top(), Time::new(4), Some(PeId::from_index(0)));
+        let base: &(dyn TableView + Sync) = &table;
+        let mut txn = TableTxn::new(base);
+        // Read-through.
+        assert_eq!(txn.get(p(1), &Cube::top()), Some(Time::new(4)));
+        assert_eq!(txn.resource(p(1), &Cube::top()), Some(PeId::from_index(0)));
+        assert_eq!(txn.get(p(2), &Cube::top()), None);
+        // Overlay write: visible in the txn, invisible in the base.
+        assert_eq!(
+            txn.set_on(p(1), Cube::top(), Time::new(9), None),
+            Some(Time::new(4))
+        );
+        assert_eq!(txn.get(p(1), &Cube::top()), Some(Time::new(9)));
+        assert_eq!(txn.set_on(p(2), cube_t(0), Time::new(7), None), None);
+        assert_eq!(txn.num_writes(), 2);
+        assert_eq!(
+            ScheduleTable::get(&table, p(1), &Cube::top()),
+            Some(Time::new(4))
+        );
+
+        let log = txn.into_log();
+        assert!(log.validate(&table));
+        log.commit_into(&mut table);
+        assert_eq!(
+            ScheduleTable::get(&table, p(1), &Cube::top()),
+            Some(Time::new(9))
+        );
+        assert_eq!(
+            ScheduleTable::get(&table, p(2), &cube_t(0)),
+            Some(Time::new(7))
+        );
+    }
+
+    #[test]
+    fn overlay_iteration_order_matches_a_serial_replay() {
+        // Base has columns [top, c0]; the txn writes a fresh column c1 and
+        // then another base column. After commit the real table's row must
+        // iterate in the same relative order the overlay showed.
+        let mut table = ScheduleTable::new();
+        table.set(p(1), Cube::top(), Time::new(0));
+        table.set(p(1), cube_t(0), Time::new(1));
+        let base: &(dyn TableView + Sync) = &table;
+        let mut txn = TableTxn::new(base);
+        txn.set_on(p(1), cube_t(1), Time::new(2), None);
+        txn.set_on(p(1), cube_f(1), Time::new(3), None);
+        let mut overlay_order = Vec::new();
+        txn.for_each_entry_on(p(1), &mut |column, time, _| {
+            overlay_order.push((column, time))
+        });
+        let log = txn.into_log();
+        log.commit_into(&mut table);
+        let replayed: Vec<_> = table.entries(p(1)).collect();
+        assert_eq!(overlay_order, replayed);
+    }
+
+    #[test]
+    fn validation_fails_when_a_read_row_changes() {
+        let mut table = ScheduleTable::new();
+        table.set(p(1), Cube::top(), Time::new(0));
+        let base: &(dyn TableView + Sync) = &table;
+        let txn = TableTxn::new(base);
+        // A pure read (even of an absent row) is a dependency.
+        assert_eq!(txn.get(p(1), &Cube::top()), Some(Time::new(0)));
+        assert_eq!(txn.get(p(2), &Cube::top()), None);
+        let log = txn.into_log();
+        assert!(log.validate(&table));
+        // A sibling writes a row this txn read: speculation is stale.
+        table.set(p(2), cube_t(0), Time::new(5));
+        assert!(!log.validate(&table));
+    }
+
+    #[test]
+    fn validation_fails_when_a_sibling_creates_the_same_column() {
+        let mut table = ScheduleTable::new();
+        table.set(p(1), Cube::top(), Time::new(0));
+        let base: &(dyn TableView + Sync) = &table;
+        let mut txn = TableTxn::new(base);
+        // The txn creates column c0 and only touches row p(2).
+        txn.set_on(p(2), cube_t(0), Time::new(3), None);
+        let log = txn.into_log();
+        assert!(log.validate(&table));
+        // A sibling creates the *same* column in a row the txn never read:
+        // no row version the txn saw changed, but the global column order
+        // now differs from what the speculation assumed.
+        table.set(p(3), cube_t(0), Time::new(8));
+        assert!(!log.validate(&table));
+    }
+
+    #[test]
+    fn nested_transactions_layer_and_conflict_like_flat_ones() {
+        let mut table = ScheduleTable::new();
+        table.set(p(1), Cube::top(), Time::new(0));
+        let base: &(dyn TableView + Sync) = &table;
+        let mut outer = TableTxn::new(base);
+        outer.set_on(p(2), cube_t(0), Time::new(2), None);
+
+        // Inner forward/back pair over the frozen outer txn.
+        let frozen: &(dyn TableView + Sync) = &outer;
+        let mut inner_fwd = TableTxn::new(frozen);
+        let inner_back = TableTxn::new(frozen);
+        inner_fwd.set_on(p(2), cube_t(1), Time::new(4), None);
+        // The back speculation reads the row the forward branch writes.
+        assert_eq!(inner_back.get(p(2), &cube_t(0)), Some(Time::new(2)));
+        let fwd_log = inner_fwd.into_log();
+        let back_log = inner_back.into_log();
+        fwd_log.commit_into(&mut outer);
+        assert!(
+            !back_log.validate(&outer),
+            "conflicting read must invalidate"
+        );
+
+        // An independent back speculation survives the same commit.
+        let frozen: &(dyn TableView + Sync) = &outer;
+        let clean = TableTxn::new(frozen);
+        assert_eq!(clean.get(p(1), &Cube::top()), Some(Time::new(0)));
+        let clean_log = clean.into_log();
+        assert!(clean_log.validate(&outer));
+
+        // Outer commit replays everything, inner writes included.
+        let outer_log = outer.into_log();
+        assert!(!outer_log.is_empty());
+        assert!(outer_log.validate(&table));
+        outer_log.commit_into(&mut table);
+        assert_eq!(
+            ScheduleTable::get(&table, p(2), &cube_t(0)),
+            Some(Time::new(2))
+        );
+        assert_eq!(
+            ScheduleTable::get(&table, p(2), &cube_t(1)),
+            Some(Time::new(4))
+        );
+    }
+
+    #[test]
+    fn row_version_of_a_txn_reflects_its_own_writes() {
+        let mut table = ScheduleTable::new();
+        table.set(p(1), Cube::top(), Time::new(0));
+        let base: &(dyn TableView + Sync) = &table;
+        let mut txn = TableTxn::new(base);
+        assert_eq!(TableView::row_version(&txn, p(1)), 1);
+        txn.set_on(p(1), cube_t(0), Time::new(3), None);
+        assert_eq!(TableView::row_version(&txn, p(1)), 2);
+        assert_eq!(TableView::row_version(&txn, p(9)), 0);
+    }
+}

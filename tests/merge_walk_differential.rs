@@ -1,16 +1,20 @@
-//! Differential test of the undo-log decision-tree walk against the
-//! clone-per-node recursive walk it replaced.
+//! Differential test of the production decision-tree walks against the
+//! clone-per-node recursive walk they replaced.
 //!
-//! The undo-log walk (`Merger::walk_undo_log`) shares one `Assignment` and
-//! one journalled `LockSet` per back-step branch along the tree path and
-//! rebuilds pooled `PathSchedule`s in place, instead of cloning all three at
-//! every node. None of that is allowed to change a single decision: the
-//! original recursion is kept behind the `test-util` feature
-//! (`generate_schedule_table_cloning`) and the produced `MergeResult` —
-//! table cells with recorded resources, per-path schedules, slips, decision
-//! steps, counters and delays — must be bit-identical over random systems,
-//! for every thread count of the surrounding parallel phases, and on
-//! systems that force the slip-repair loop.
+//! The serial undo-log walk shares one `Assignment` and one journalled
+//! `LockSet` per back-step branch along the tree path and rebuilds pooled
+//! `PathSchedule`s in place, instead of cloning all three at every node; the
+//! speculative walk (two or more threads) additionally runs sibling subtrees
+//! concurrently over transactional overlays of the table (`TableTxn`),
+//! committing their write logs in tree order and discarding-and-re-running
+//! any back speculation whose read rows the forward subtree changed. None of
+//! that is allowed to change a single decision: the original recursion is
+//! kept behind the `test-util` feature (`generate_schedule_table_cloning`)
+//! and the produced `MergeResult` — table cells with recorded resources,
+//! per-path schedules, slips, decision steps, counters and delays — must be
+//! bit-identical over random systems, at thread counts 1/2/4/8 and for every
+//! selection policy, and on crafted systems that force the slip-repair loop
+//! and the txn-validation-failure path.
 
 use proptest::prelude::*;
 
@@ -80,31 +84,35 @@ proptest! {
     })]
 
     #[test]
-    fn undo_log_walk_matches_the_cloning_oracle(config in config_strategy()) {
+    fn production_walks_match_the_cloning_oracle(config in config_strategy()) {
         let system = generate(&config);
         let cpg = system.cpg();
         let arch = system.arch();
-        let base = MergeConfig::new(system.broadcast_time());
+        // Tracing on: the step-by-step visit order is part of the contract
+        // being compared (it is off by default to keep the walk
+        // allocation-free).
+        let base = MergeConfig::new(system.broadcast_time()).with_trace(true);
 
-        // The oracle runs fully serial; the walk itself is serial in both
-        // implementations, so the clone-based result is the reference for
-        // every thread count of the parallel phases around the walk.
+        // The oracle runs fully serial and clone-per-node; one thread runs
+        // the serial undo-log walk; two or more run the speculative
+        // transactional walk at increasing fork depth. All must agree.
         let oracle = generate_schedule_table_cloning(cpg, arch, &base.with_threads(1));
         oracle.table().verify(cpg, oracle.tracks()).expect("oracle table is correct");
 
-        for threads in [1usize, 2, 4] {
-            let undo = generate_schedule_table(cpg, arch, &base.with_threads(threads));
-            assert_results_identical(&oracle, &undo, &format!("{threads} threads"))?;
+        for threads in [1usize, 2, 4, 8] {
+            let walk = generate_schedule_table(cpg, arch, &base.with_threads(threads));
+            assert_results_identical(&oracle, &walk, &format!("{threads} threads"))?;
         }
     }
 
     #[test]
-    fn undo_log_walk_matches_the_oracle_under_every_selection_policy(
+    fn production_walks_match_the_oracle_under_every_selection_policy(
         config in config_strategy(),
     ) {
-        // The back-step track re-selection is where the undo-log walk reads
-        // the shared `Assignment` after rolling it back, so exercise every
-        // policy that consumes it.
+        // The back-step track re-selection is where the walks read the
+        // shared `Assignment` after rolling it back (and where the
+        // speculative walk probes the branch *before* forking), so exercise
+        // every policy that consumes it.
         let system = generate(&config);
         let cpg = system.cpg();
         let arch = system.arch();
@@ -112,10 +120,14 @@ proptest! {
             SelectionPolicy::ShortestDelayFirst,
             SelectionPolicy::EnumerationOrder,
         ] {
-            let base = MergeConfig::new(system.broadcast_time()).with_selection(policy);
+            let base = MergeConfig::new(system.broadcast_time())
+                .with_selection(policy)
+                .with_trace(true);
             let oracle = generate_schedule_table_cloning(cpg, arch, &base.with_threads(1));
-            let undo = generate_schedule_table(cpg, arch, &base.with_threads(2));
-            assert_results_identical(&oracle, &undo, &format!("{policy:?}"))?;
+            for threads in [1usize, 2, 4, 8] {
+                let walk = generate_schedule_table(cpg, arch, &base.with_threads(threads));
+                assert_results_identical(&oracle, &walk, &format!("{policy:?}, {threads} threads"))?;
+            }
         }
     }
 }
@@ -153,25 +165,105 @@ fn slipping_system() -> (Architecture, Cpg) {
 }
 
 #[test]
-fn undo_log_walk_matches_the_oracle_on_a_slip_forcing_system() {
+fn production_walks_match_the_oracle_on_a_slip_forcing_system() {
     let (arch, cpg) = slipping_system();
-    let config = MergeConfig::new(Time::new(2));
+    let config = MergeConfig::new(Time::new(2)).with_trace(true);
     let oracle = generate_schedule_table_cloning(&cpg, &arch, &config.with_threads(1));
     assert!(
         oracle.stats().slip_repairs > 0,
         "the crafted lock never slipped: {:?}",
         oracle.stats()
     );
-    for threads in [1usize, 2, 4] {
-        let undo = generate_schedule_table(&cpg, &arch, &config.with_threads(threads));
+    for threads in [1usize, 2, 4, 8] {
+        let walk = generate_schedule_table(&cpg, &arch, &config.with_threads(threads));
         assert_eq!(
             oracle.table(),
-            undo.table(),
+            walk.table(),
             "table diverged at {threads} threads"
         );
-        assert_eq!(oracle.path_schedules(), undo.path_schedules());
-        assert_eq!(oracle.steps(), undo.steps());
-        assert_eq!(oracle.stats(), undo.stats());
-        assert_eq!(oracle.delta_max(), undo.delta_max());
+        assert_eq!(oracle.path_schedules(), walk.path_schedules());
+        assert_eq!(oracle.steps(), walk.steps());
+        assert_eq!(oracle.stats(), walk.stats());
+        assert_eq!(oracle.delta_max(), walk.delta_max());
+    }
+}
+
+/// Crafted system whose sibling subtrees deterministically write *overlapping
+/// rows*, forcing the speculative walk's validation-failure path: two nested
+/// conditions are computed on `cpu0` while a conjunction `sink` (executed on
+/// every path) and the condition broadcasts land in the same table rows on
+/// both sides of each fork. At any forked node the forward subtree places the
+/// resolved condition's broadcast and the `sink` activation — rows the back
+/// speculation must read when it inherits ancestor locks — so the back txn's
+/// read-set validation fails against the committed forward log and the branch
+/// re-runs against the real table. Bit-identity across thread counts proves
+/// the discard-and-re-run path reproduces the serial walk exactly.
+fn overlapping_rows_system() -> (Architecture, Cpg) {
+    let arch = Architecture::builder()
+        .processor("cpu0")
+        .processor("cpu1")
+        .bus("bus")
+        .build()
+        .unwrap();
+    let cpu0 = arch.pe_by_name("cpu0").unwrap();
+    let cpu1 = arch.pe_by_name("cpu1").unwrap();
+    let mut b = CpgBuilder::new();
+    let c1 = b.condition("C1");
+    let c2 = b.condition("C2");
+    let root = b.process("root", Time::new(4), cpu0);
+    let mid = b.process("mid", Time::new(4), cpu0);
+    // Branch bodies with distinct lengths so every path schedules `sink` at
+    // a different start — the placements collide in compatible columns and
+    // drive the Theorem-2 conflict repair inside the speculated subtrees too.
+    let a_t = b.process("a_t", Time::new(3), cpu1);
+    let a_f = b.process("a_f", Time::new(6), cpu1);
+    let b_t = b.process("b_t", Time::new(2), cpu1);
+    let b_f = b.process("b_f", Time::new(5), cpu1);
+    let sink = b.process("sink", Time::new(2), cpu1);
+    b.conditional_edge(root, a_t, c1.is_true(), Time::ZERO);
+    b.conditional_edge(root, a_f, c1.is_false(), Time::ZERO);
+    b.simple_edge(root, mid, Time::ZERO);
+    b.conditional_edge(mid, b_t, c2.is_true(), Time::ZERO);
+    b.conditional_edge(mid, b_f, c2.is_false(), Time::ZERO);
+    b.simple_edge(a_t, sink, Time::ZERO);
+    b.simple_edge(a_f, sink, Time::ZERO);
+    b.simple_edge(b_t, sink, Time::ZERO);
+    b.simple_edge(b_f, sink, Time::ZERO);
+    b.mark_conjunction(sink);
+    let cpg = b.build(&arch).unwrap();
+    (arch, cpg)
+}
+
+#[test]
+fn production_walks_match_the_oracle_when_sibling_subtrees_overlap_rows() {
+    let (arch, cpg) = overlapping_rows_system();
+    for policy in [
+        SelectionPolicy::LongestDelayFirst,
+        SelectionPolicy::ShortestDelayFirst,
+        SelectionPolicy::EnumerationOrder,
+    ] {
+        let config = MergeConfig::new(Time::new(1))
+            .with_selection(policy)
+            .with_trace(true);
+        let oracle = generate_schedule_table_cloning(&cpg, &arch, &config.with_threads(1));
+        oracle
+            .table()
+            .verify(&cpg, oracle.tracks())
+            .expect("oracle table is correct");
+        // Four paths: both conditions fork, so a two-thread budget already
+        // speculates at the root node and the sink/broadcast rows overlap.
+        assert!(oracle.tracks().len() >= 4, "both conditions must fork");
+        for threads in [1usize, 2, 4, 8] {
+            let walk = generate_schedule_table(&cpg, &arch, &config.with_threads(threads));
+            assert_eq!(
+                oracle.table(),
+                walk.table(),
+                "table diverged at {threads} threads ({policy:?})"
+            );
+            assert_eq!(oracle.path_schedules(), walk.path_schedules());
+            assert_eq!(oracle.steps(), walk.steps());
+            assert_eq!(oracle.stats(), walk.stats());
+            assert_eq!(oracle.delta_max(), walk.delta_max());
+        }
     }
 }

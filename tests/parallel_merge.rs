@@ -3,11 +3,13 @@
 //! table cells and recorded resources, per-path schedules, slips, decision
 //! steps, counters and delays — to the serial run.
 //!
-//! The parallel phases (per-track contexts, initial path schedules, the
-//! final realizability sweep) reduce by track index, and the decision-tree
-//! walk is sequential, so any divergence here flags a scheduling decision
-//! that leaked through worker-local state (e.g. a scratch arena not fully
-//! reset between the tracks a worker draws).
+//! The embarrassingly parallel phases (per-track contexts, initial path
+//! schedules, the final realizability sweep) reduce by track index, and the
+//! decision-tree walk runs sibling subtrees speculatively over transactional
+//! table overlays whose write logs commit in tree order, so any divergence
+//! here flags a scheduling decision that leaked through worker-local state
+//! (e.g. a scratch arena not fully reset between the tracks a worker draws,
+//! or a speculated subtree that survived validation it should have failed).
 
 use proptest::prelude::*;
 
@@ -84,12 +86,13 @@ proptest! {
         let system = generate(&config);
         let cpg = system.cpg();
         let arch = system.arch();
-        let base = MergeConfig::new(system.broadcast_time());
+        // Tracing on so the recorded decision steps are compared too.
+        let base = MergeConfig::new(system.broadcast_time()).with_trace(true);
 
         let serial = generate_schedule_table(cpg, arch, &base.with_threads(1));
         serial.table().verify(cpg, serial.tracks()).expect("serial table is correct");
 
-        for threads in [2usize, 4] {
+        for threads in [2usize, 4, 8] {
             let parallel = generate_schedule_table(cpg, arch, &base.with_threads(threads));
             assert_results_identical(&serial, &parallel, threads)?;
         }
@@ -107,7 +110,9 @@ proptest! {
             SelectionPolicy::ShortestDelayFirst,
             SelectionPolicy::EnumerationOrder,
         ] {
-            let base = MergeConfig::new(system.broadcast_time()).with_selection(policy);
+            let base = MergeConfig::new(system.broadcast_time())
+                .with_selection(policy)
+                .with_trace(true);
             let serial = generate_schedule_table(cpg, arch, &base.with_threads(1));
             let parallel = generate_schedule_table(cpg, arch, &base.with_threads(4));
             assert_results_identical(&serial, &parallel, 4)?;

@@ -276,6 +276,60 @@ fn effective_threads(threads: usize, items: usize) -> usize {
     threads.min(items).max(1)
 }
 
+/// Cost-aware binary fork-join for recursive divide-and-conquer: runs `a` on
+/// the calling thread and `b` on a freshly spawned scoped worker, splitting
+/// the caller's thread `budget` between them proportionally to the cost
+/// estimates (each side gets at least one thread). Returns both results;
+/// a panic on either side resurfaces on the caller.
+///
+/// With `budget <= 1` both closures run serially on the calling thread, in
+/// `a`-then-`b` order, each with a budget of one — so a recursive caller can
+/// hardwire "budget 1 is the serial walk".
+///
+/// Unlike the `map` family this function does **not** consult [`in_worker`]:
+/// the budget *is* the nesting policy. A recursive caller passes each side
+/// its sub-budget, and once the budget bottoms out at one no further threads
+/// are spawned, no matter how deep the recursion sits inside the pool. The
+/// spawned side is marked as a pool worker so that any `map` calls made from
+/// inside it still collapse onto it.
+pub fn join_with_cost<RA, RB, A, B>(budget: usize, cost_a: u64, cost_b: u64, a: A, b: B) -> (RA, RB)
+where
+    RB: Send,
+    A: FnOnce(usize) -> RA,
+    B: FnOnce(usize) -> RB + Send,
+{
+    if budget <= 1 {
+        let ra = a(1);
+        let rb = b(1);
+        return (ra, rb);
+    }
+    let budget_b = split_budget(budget, cost_a, cost_b);
+    let budget_a = budget - budget_b;
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(move || {
+            POOL_WORKER.with(|flag| flag.set(true));
+            b(budget_b)
+        });
+        let ra = a(budget_a);
+        let rb = handle
+            .join()
+            .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+        (ra, rb)
+    })
+}
+
+/// The share of `budget` handed to the `b` side of [`join_with_cost`]:
+/// proportional to `cost_b`, deterministic, and clamped so both sides keep at
+/// least one thread. Zero costs count as one so a side with an unknown cost
+/// still gets its minimum share.
+fn split_budget(budget: usize, cost_a: u64, cost_b: u64) -> usize {
+    debug_assert!(budget >= 2);
+    let cost_a = cost_a.max(1);
+    let cost_b = cost_b.max(1);
+    let share = (budget as u128) * u128::from(cost_b) / (u128::from(cost_a) + u128::from(cost_b));
+    (share as usize).clamp(1, budget - 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,6 +463,85 @@ mod tests {
             .all(|on_worker| on_worker)
         });
         assert!(ok.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn join_serializes_at_budget_one_and_spawns_above() {
+        use std::thread::ThreadId;
+        let me = std::thread::current().id();
+        // Budget 1: both sides on the caller, in order, with budget 1.
+        let order = std::sync::Mutex::new(Vec::new());
+        let ((ba, ta), (bb, tb)) = join_with_cost(
+            1,
+            10,
+            1,
+            |budget| {
+                order.lock().unwrap().push('a');
+                (budget, std::thread::current().id())
+            },
+            |budget| {
+                order.lock().unwrap().push('b');
+                (budget, std::thread::current().id())
+            },
+        );
+        assert_eq!((ba, bb), (1, 1));
+        assert_eq!((ta, tb), (me, me));
+        assert_eq!(*order.lock().unwrap(), vec!['a', 'b']);
+
+        // Budget >= 2: `b` runs on a marked worker, budgets partition the
+        // caller's budget with both sides >= 1.
+        let ((ba, ta), (bb, tb, marked)): ((usize, ThreadId), (usize, ThreadId, bool)) =
+            join_with_cost(
+                4,
+                3,
+                1,
+                |budget| (budget, std::thread::current().id()),
+                |budget| (budget, std::thread::current().id(), in_worker()),
+            );
+        assert_eq!(ta, me);
+        assert_ne!(tb, me, "b side must run on its own thread");
+        assert!(marked, "spawned side must be marked as a pool worker");
+        assert_eq!(ba + bb, 4);
+        assert!(ba >= 1 && bb >= 1);
+        // Proportional split: the costlier `a` side keeps the larger share.
+        assert!(ba >= bb);
+        // The calling thread is not a worker afterwards.
+        assert!(!in_worker());
+    }
+
+    #[test]
+    fn join_budget_split_is_deterministic_and_total() {
+        for budget in 2..20 {
+            for &(ca, cb) in &[(0u64, 0u64), (1, 1), (100, 1), (1, 100), (7, 13)] {
+                let b = split_budget(budget, ca, cb);
+                assert!(b >= 1 && b < budget, "budget {budget} costs {ca}/{cb}");
+                assert_eq!(b, split_budget(budget, ca, cb));
+            }
+        }
+        // Extremes still leave the other side one thread.
+        assert_eq!(split_budget(8, u64::MAX, 1), 1);
+        assert_eq!(split_budget(8, 1, u64::MAX), 7);
+    }
+
+    #[test]
+    fn join_ignores_the_worker_flag_and_nests_by_budget() {
+        // A join inside a map worker still spawns when its budget allows:
+        // the budget, not the flag, is the nesting policy.
+        let spawned = map(2, &[0u32, 1], |_, _| {
+            let me = std::thread::current().id();
+            let ((), other) =
+                join_with_cost(2, 1, 1, |_| (), |_| std::thread::current().id() != me);
+            other
+        });
+        assert!(spawned.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn join_propagates_panics_from_the_spawned_side() {
+        let result = std::panic::catch_unwind(|| {
+            join_with_cost(2, 1, 1, |_| 1u32, |_| -> u32 { panic!("boom") })
+        });
+        assert!(result.is_err());
     }
 
     #[test]
