@@ -22,8 +22,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use cpg::{enumerate_tracks, SystemEdit};
+use cpg_arch::Time;
 use cpg_gen::{generate, GeneratorConfig};
-use cpg_merge::{generate_schedule_table, MergeConfig};
+use cpg_merge::{generate_schedule_table, MergeConfig, MergeSession};
 
 const NODES: [usize; 3] = [60, 80, 120];
 const PATHS: [usize; 3] = [10, 18, 32];
@@ -81,12 +83,115 @@ fn merge_walk_group(c: &mut Criterion, group_name: &str, threads: usize) {
     group.finish();
 }
 
+/// Per-depth generator seeds for `merge_rewalk/*`, chosen (by an offline
+/// seed sweep) so the system has a process on a *single* alternative path or
+/// two: its WCET edit dirties the smallest possible subtree, making the
+/// warm/cold gap a property of the replay machinery rather than of the
+/// random tree shape. Plain sequential seeds mostly produce trees whose
+/// rarest process still sits on a third of the paths, which caps the
+/// replayable fraction structurally.
+const REWALK_SEEDS: [(usize, u64); 3] = [(16, 0x66EE8), (24, 0x66EE8), (32, 0x66EF8)];
+
+/// Incremental re-merge on the deep-condition-nest systems: `cold/*` pays a
+/// full merge of the edited system per iteration (what a session-less caller
+/// does after every WCET tweak), `warm/*` keeps a [`MergeSession`] across
+/// iterations so every decision subtree outside the edit's scope replays
+/// from its cached logs. Both pinned to one thread — the warm/cold ratio
+/// must come from work avoidance, not from cores — and both producing
+/// bit-identical tables (pinned by the differential tests). Gated by
+/// `bench_guard`.
+fn merge_rewalk_group(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_rewalk");
+    group.sample_size(10);
+    for &(paths, seed) in &REWALK_SEEDS {
+        let config = GeneratorConfig::new(3 * paths, paths)
+            .with_processors(2)
+            .with_buses(1)
+            .with_seed(seed);
+        let system = generate(&config);
+        let merge_config = MergeConfig::new(system.broadcast_time()).with_threads(1);
+
+        // The edited process: an ordinary process on the fewest alternative
+        // paths — deep in the decision tree, so a WCET tweak invalidates a
+        // small subtree while the bulk of the tree replays. Among those
+        // candidates, a deterministic pilot (reuse counters of a real warm
+        // merge, no timing involved) picks the one whose edits keep the most
+        // chains replayable: membership only bounds the *dirty* chain count,
+        // while the serial position of the dirty chains decides how many
+        // clean chains behind them survive read validation. The edit
+        // alternates between two close execution times to keep every
+        // iteration's work comparable.
+        let tracks = enumerate_tracks(system.cpg());
+        let min_membership = system
+            .cpg()
+            .ordinary_processes()
+            .map(|p| tracks.iter().filter(|t| t.contains(p)).count())
+            .min()
+            .expect("generated systems have ordinary processes");
+        let process = system
+            .cpg()
+            .ordinary_processes()
+            .filter(|&p| tracks.iter().filter(|t| t.contains(p)).count() == min_membership)
+            .max_by_key(|&p| {
+                let mut pilot = MergeSession::new(system.cpg(), system.arch(), &merge_config);
+                pilot.merge();
+                let base = system.cpg().exec_time(p);
+                let mut worst = usize::MAX;
+                for time in [base + Time::new(1), base] {
+                    pilot
+                        .apply_edit(&SystemEdit::ExecTime { process: p, time })
+                        .expect("ordinary processes are editable");
+                    pilot.merge();
+                    worst = worst.min(pilot.reuse_stats().chains_replayed);
+                }
+                worst
+            })
+            .expect("generated systems have ordinary processes");
+        let base_time = system.cpg().exec_time(process);
+
+        group.bench_with_input(BenchmarkId::new("cold", paths), &system, |b, system| {
+            let mut cpg = system.cpg().clone();
+            let mut bump = false;
+            b.iter(|| {
+                bump = !bump;
+                let time = if bump {
+                    base_time + Time::new(1)
+                } else {
+                    base_time
+                };
+                cpg.set_exec_time(process, time)
+                    .expect("ordinary processes are editable");
+                generate_schedule_table(&cpg, system.arch(), &merge_config)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm", paths), &system, |b, system| {
+            let mut session = MergeSession::new(system.cpg(), system.arch(), &merge_config);
+            session.merge();
+            let mut bump = false;
+            b.iter(|| {
+                bump = !bump;
+                let time = if bump {
+                    base_time + Time::new(1)
+                } else {
+                    base_time
+                };
+                session
+                    .apply_edit(&SystemEdit::ExecTime { process, time })
+                    .expect("ordinary processes are editable");
+                session.merge()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn merge_time(c: &mut Criterion) {
     // 0 = the automatic choice (available parallelism).
     bench_group(c, "schedule_merging", 0);
     bench_group(c, "schedule_merging_serial", 1);
     merge_walk_group(c, "merge_walk", 1);
     merge_walk_group(c, "merge_walk_par", 4);
+    merge_rewalk_group(c);
 }
 
 criterion_group!(benches, merge_time);

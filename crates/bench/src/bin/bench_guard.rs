@@ -3,9 +3,10 @@
 //!
 //! Compares a fresh criterion-shim measurement (the JSON-lines file produced
 //! by running `cargo bench` with `CRITERION_JSON=<path>`) against a committed
-//! baseline (`BENCH_5.json`) and fails when any gated median
-//! (`schedule_merging_serial/*` and `merge_walk/*` — the one-thread-pinned
-//! merge trajectories, whose cost is core-count-independent) regresses by
+//! baseline (`BENCH_6.json`) and fails when any gated median
+//! (`schedule_merging_serial/*`, `merge_walk/*` and `merge_rewalk/*` — the
+//! one-thread-pinned merge trajectories, whose cost is
+//! core-count-independent) regresses by
 //! more than the allowed percentage; the default-parallelism
 //! `schedule_merging/*` and speculative-walk `merge_walk_par/*` groups are
 //! reported for information (see `GATED_PREFIXES`).
@@ -43,7 +44,7 @@
 //! CRITERION_JSON=bench_current.json cargo bench --bench calibration \
 //!     --bench merge_time --bench path_schedule_time
 //! cargo run --release -p cpg-bench --bin bench_guard -- \
-//!     --baseline BENCH_5.json --current bench_current.json
+//!     --baseline BENCH_6.json --current bench_current.json
 //! ```
 //!
 //! `--emit <path> --label <name>` additionally writes the current
@@ -59,8 +60,11 @@ use std::process::ExitCode;
 
 /// Benchmarks whose regression fails the gate; everything else is reported
 /// for information only. Only the one-thread-pinned groups are gated — the
-/// full serial merge trajectory and the deep-condition-nest walk trajectory
-/// (`merge_walk/`, where the sequential decision-tree walk dominates): the
+/// full serial merge trajectory, the deep-condition-nest walk trajectory
+/// (`merge_walk/`, where the sequential decision-tree walk dominates) and
+/// the incremental re-merge trajectory (`merge_rewalk/`, whose `warm/*`
+/// rows hold the session's cached-replay speedup and whose `cold/*` rows
+/// anchor the ratio): the
 /// default-parallelism `schedule_merging/` group and the speculative
 /// `merge_walk_par/` group scale with the runner's core count, which neither
 /// calibration probe (both single-threaded) can normalize out — gating them
@@ -68,7 +72,7 @@ use std::process::ExitCode;
 /// machine, exactly the hardware dependence the calibration exists to
 /// prevent. The parallel medians are still measured, reported and recorded
 /// in every baseline.
-const GATED_PREFIXES: &[&str] = &["schedule_merging_serial/", "merge_walk/"];
+const GATED_PREFIXES: &[&str] = &["schedule_merging_serial/", "merge_walk/", "merge_rewalk/"];
 
 /// The code-stable compute-bound calibration benchmark used to normalize out
 /// clock/IPC differences between machines.
@@ -283,7 +287,7 @@ fn run_gate(baseline: &[(String, f64)], current: &[(String, f64)]) -> GateReport
 }
 
 fn main() -> ExitCode {
-    let mut baseline_path = String::from("BENCH_5.json");
+    let mut baseline_path = String::from("BENCH_6.json");
     let mut current_path = None;
     let mut emit_path = None;
     let mut label = String::from("BENCH_CURRENT");
@@ -463,6 +467,8 @@ mod tests {
             ("calibration/chase", 200.0),
             ("schedule_merging_serial/60x12", serial),
             ("merge_walk/depth24", walk),
+            ("merge_rewalk/cold/24", 4000.0),
+            ("merge_rewalk/warm/24", 400.0),
             ("schedule_merging/60x12", 500.0),
             ("path_list_scheduling/60", 300.0),
         ])

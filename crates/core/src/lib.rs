@@ -58,6 +58,7 @@ mod baseline;
 mod config;
 mod merge;
 mod result;
+mod session;
 
 pub use baseline::{condition_oblivious_baseline, BaselineResult};
 pub use config::{threads_from_env, MergeConfig, SelectionPolicy};
@@ -65,3 +66,4 @@ pub use config::{threads_from_env, MergeConfig, SelectionPolicy};
 pub use merge::generate_schedule_table_cloning;
 pub use merge::{generate_schedule_table, generate_schedule_table_for_tracks};
 pub use result::{MergeResult, MergeStats, MergeStep};
+pub use session::{MergeSession, ReuseStats};

@@ -43,6 +43,8 @@
 //! behind the `test-util` feature as a differential-test oracle
 //! ([`generate_schedule_table_cloning`]).
 
+use std::sync::OnceLock;
+
 use cpg::{enumerate_tracks, Assignment, CondId, Cpg, Cube, Track, TrackSet};
 use cpg_arch::{Architecture, PeId, Time};
 use cpg_path_sched::{
@@ -150,18 +152,15 @@ fn generate_for_tracks_inner(
     // embarrassingly parallel across tracks, so they fan out over the
     // fork-join shim with one scratch arena per worker; `threads == 1` runs
     // the plain serial loop on this thread. The reduction is by track index,
-    // so the result is bit-identical for every thread count.
-    let built: Vec<(TrackContext, PathSchedule)> = fj::map_with(
+    // so the result is bit-identical for every thread count. The cold path
+    // needs every context, so the fan-out prefills the whole cache.
+    let contexts = ContextCache::new(scheduler, &tracks);
+    let optimal: Vec<PathSchedule> = fj::map_with(
         threads,
         tracks.tracks(),
         RunScratch::new,
-        |scratch, _, track| {
-            let context = scheduler.context(track);
-            let schedule = context.schedule_with(scratch);
-            (context, schedule)
-        },
+        |scratch, idx, _| contexts.get(idx).schedule_with(scratch),
     );
-    let (contexts, optimal): (Vec<TrackContext>, Vec<PathSchedule>) = built.into_iter().unzip();
     let delta_m = optimal
         .iter()
         .map(PathSchedule::delay)
@@ -263,17 +262,53 @@ enum Placement {
 /// the cap only guards against pathological oscillation between candidates.
 const SLIP_REPAIR_ROUNDS: usize = 16;
 
+/// Lazily built per-track scheduling contexts.
+///
+/// A [`TrackContext`] is a bundle of dense lookup tables over one track —
+/// cheap to query but not free to build. The cold merge needs every context
+/// (each track is visited at least once), so it prefills all cells inside
+/// its parallel fan-out; an incremental re-merge only touches the contexts
+/// of re-walked or re-scheduled tracks, so the session leaves the cells to
+/// fill on first use. `OnceLock` keeps the fill race-free under the
+/// speculative walk, and a context is deterministic in its inputs, so *who*
+/// fills a cell never shows in the result.
+pub(crate) struct ContextCache<'a> {
+    scheduler: ListScheduler<'a>,
+    tracks: &'a TrackSet,
+    cells: Vec<OnceLock<TrackContext<'a>>>,
+}
+
+impl<'a> ContextCache<'a> {
+    pub(crate) fn new(scheduler: ListScheduler<'a>, tracks: &'a TrackSet) -> Self {
+        let mut cells = Vec::new();
+        cells.resize_with(tracks.len(), OnceLock::new);
+        ContextCache {
+            scheduler,
+            tracks,
+            cells,
+        }
+    }
+
+    pub(crate) fn get(&self, idx: usize) -> &TrackContext<'a> {
+        self.cells[idx].get_or_init(|| self.scheduler.context(&self.tracks.tracks()[idx]))
+    }
+}
+
 /// The immutable inputs shared by every worker of the decision-tree walk.
-struct MergeShared<'a> {
-    cpg: &'a Cpg,
-    config: &'a MergeConfig,
+///
+/// Crate-visible so the incremental [`MergeSession`](crate::MergeSession)
+/// can drive the same placement/adjustment machinery over its cached
+/// decision tree.
+pub(crate) struct MergeShared<'a> {
+    pub(crate) cpg: &'a Cpg,
+    pub(crate) config: &'a MergeConfig,
     /// Worker threads for the parallel phases (resolved once up front so the
     /// whole merge sees one consistent count); doubles as the root thread
     /// budget of the speculative walk.
-    threads: usize,
-    contexts: &'a [TrackContext<'a>],
-    tracks: &'a TrackSet,
-    optimal: &'a [PathSchedule],
+    pub(crate) threads: usize,
+    pub(crate) contexts: &'a ContextCache<'a>,
+    pub(crate) tracks: &'a TrackSet,
+    pub(crate) optimal: &'a [PathSchedule],
 }
 
 /// Per-worker walk state: the outputs of one (sub)tree traversal plus the
@@ -283,14 +318,14 @@ struct MergeShared<'a> {
 /// on its worker thread and folds the output fields back into the caller's
 /// in tree order ([`absorb_output`](Self::absorb_output)), so every counter
 /// and traced step lands exactly where the serial walk would have put it.
-struct WalkState {
+pub(crate) struct WalkState {
     /// Decision-tree nodes visited, in visit order (recorded only when
     /// [`MergeConfig::with_trace`] is on).
-    steps: Vec<MergeStep>,
-    stats: MergeStats,
+    pub(crate) steps: Vec<MergeStep>,
+    pub(crate) stats: MergeStats,
     /// `true` once any adjustment reported a slipped lock; gates the final
     /// realizability sweep that computes [`MergeStats::lock_slips`].
-    saw_slip: bool,
+    pub(crate) saw_slip: bool,
     /// Scratch arena for the scheduler runs of adjustments and repairs.
     scratch: RunScratch,
     /// Reusable buffers of the repair loops.
@@ -300,14 +335,14 @@ struct WalkState {
     fresh_buf: Vec<Cube>,
     candidates_buf: Vec<(Time, Option<PeId>)>,
     /// Pools: dead schedules and lock sets are recycled instead of freed.
-    schedule_pool: Vec<PathSchedule>,
-    lock_pool: Vec<LockSet>,
+    pub(crate) schedule_pool: Vec<PathSchedule>,
+    pub(crate) lock_pool: Vec<LockSet>,
     /// Swap target of `place_phase` repairs.
     spare: PathSchedule,
 }
 
 impl WalkState {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         WalkState {
             steps: Vec::new(),
             stats: MergeStats::default(),
@@ -327,7 +362,7 @@ impl WalkState {
     /// Folds the *outputs* of a completed speculative subtree into this
     /// state, in tree order; the subtree's scratch buffers and pools are
     /// dropped with it.
-    fn absorb_output(&mut self, subtree: WalkState) {
+    pub(crate) fn absorb_output(&mut self, subtree: WalkState) {
         self.steps.extend(subtree.steps);
         self.stats.absorb(subtree.stats);
         self.saw_slip |= subtree.saw_slip;
@@ -371,7 +406,7 @@ impl MergeShared<'_> {
     /// The adjusted schedule is rebuilt into `out` (previous content
     /// discarded, buffers reused): the walk pools its schedules, so repeated
     /// adjustments stop touching the allocator once the pool is warm.
-    fn adjust_into<V: TableView + ?Sized>(
+    pub(crate) fn adjust_into<V: TableView + ?Sized>(
         &self,
         state: &mut WalkState,
         view: &mut V,
@@ -380,7 +415,7 @@ impl MergeShared<'_> {
         decided: &Assignment,
         out: &mut PathSchedule,
     ) {
-        self.contexts[track_idx].reschedule_into(
+        self.contexts.get(track_idx).reschedule_into(
             &mut state.scratch,
             &self.optimal[track_idx],
             locks,
@@ -400,7 +435,7 @@ impl MergeShared<'_> {
             if !progressed {
                 break;
             }
-            self.contexts[track_idx].reschedule_into(
+            self.contexts.get(track_idx).reschedule_into(
                 &mut state.scratch,
                 &self.optimal[track_idx],
                 locks,
@@ -547,7 +582,7 @@ impl MergeShared<'_> {
     /// The tracks are independent, so the sweep fans out over the fork-join
     /// shim with one scratch arena per worker; the reduction is by track
     /// index, keeping the result identical for every thread count.
-    fn residual_replays(&self, table: &ScheduleTable) -> Vec<PathSchedule> {
+    pub(crate) fn residual_replays(&self, table: &ScheduleTable) -> Vec<PathSchedule> {
         fj::map_with(
             self.threads,
             self.tracks.tracks(),
@@ -561,14 +596,16 @@ impl MergeShared<'_> {
                         locks.insert_pinned(job, time, pe);
                     }
                 }
-                self.contexts[idx].reschedule_with(scratch, &self.optimal[idx], &locks)
+                self.contexts
+                    .get(idx)
+                    .reschedule_with(scratch, &self.optimal[idx], &locks)
             },
         )
     }
 
     /// Picks the reachable path used as the current schedule at a decision
     /// tree node (rule 1 / the selection policy of the configuration).
-    fn select_track(&self, decided: &Assignment) -> Option<usize> {
+    pub(crate) fn select_track(&self, decided: &Assignment) -> Option<usize> {
         let reachable = self
             .tracks
             .iter()
@@ -589,7 +626,7 @@ impl MergeShared<'_> {
     /// proxy the speculative walk uses to split its thread budget between
     /// the two subtrees of a node (a subtree's work scales with the number
     /// of paths it still covers).
-    fn reachable_count(&self, decided: &Assignment) -> usize {
+    pub(crate) fn reachable_count(&self, decided: &Assignment) -> usize {
         self.tracks
             .iter()
             .filter(|t| t.label().consistent_with(decided))
@@ -884,9 +921,9 @@ impl MergeShared<'_> {
         // subtree changed.
         let forward_log = txn_fwd.into_log();
         let back_log = txn_back.into_log();
-        forward_log.commit_into(view);
+        view.splice_log(&forward_log);
         if back_log.validate(view) {
-            back_log.commit_into(view);
+            view.splice_log(&back_log);
             state.absorb_output(back_state);
         } else {
             // Stale speculation: drop the whole attempt (writes, counters
@@ -950,7 +987,7 @@ impl MergeShared<'_> {
     /// resolved (or the schedule ends), re-adjusting the schedule in place
     /// when a conflict repair moves a process. Returns the next undecided
     /// condition resolution, if any.
-    fn place_phase<V: TableView + ?Sized>(
+    pub(crate) fn place_phase<V: TableView + ?Sized>(
         &self,
         state: &mut WalkState,
         view: &mut V,
@@ -1137,7 +1174,7 @@ impl MergeShared<'_> {
     /// ones other than `resolved`. The locks land in the caller-provided
     /// (pooled, cleared) set; every row probe resolves through the view's
     /// dense per-job index.
-    fn locks_from_table_into<V: TableView + ?Sized>(
+    pub(crate) fn locks_from_table_into<V: TableView + ?Sized>(
         &self,
         view: &V,
         locks: &mut LockSet,
@@ -1168,7 +1205,7 @@ impl MergeShared<'_> {
 
     /// The jobs that can appear on a track: its processes (except the
     /// dummies) and the broadcasts of the conditions it determines.
-    fn track_jobs<'t>(&'t self, track: &'t Track) -> impl Iterator<Item = Job> + 't {
+    pub(crate) fn track_jobs<'t>(&'t self, track: &'t Track) -> impl Iterator<Item = Job> + 't {
         track
             .processes()
             .iter()

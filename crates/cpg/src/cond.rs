@@ -555,7 +555,7 @@ impl Guard {
         let mut conds: Vec<CondId> = self
             .cubes
             .iter()
-            .flat_map(|cube| cube.conditions().collect::<Vec<_>>())
+            .flat_map(|cube| cube.conditions())
             .collect();
         conds.sort_unstable();
         conds.dedup();

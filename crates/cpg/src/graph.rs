@@ -327,6 +327,67 @@ impl Cpg {
             .map(|id| self.exec_time(id))
             .sum()
     }
+
+    fn editable(&self, id: ProcessId) -> Result<(), crate::edit::EditError> {
+        let Some(process) = self.processes.get(id.0) else {
+            return Err(crate::edit::EditError::UnknownProcess(id));
+        };
+        if process.kind().is_dummy() {
+            return Err(crate::edit::EditError::DummyProcess(id));
+        }
+        Ok(())
+    }
+
+    /// Changes the worst-case execution time of a process in place (the
+    /// communication time for communication processes).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown identifiers and the dummy source/sink.
+    pub fn set_exec_time(
+        &mut self,
+        id: ProcessId,
+        time: Time,
+    ) -> Result<(), crate::edit::EditError> {
+        self.editable(id)?;
+        self.processes[id.0].exec_time = time;
+        Ok(())
+    }
+
+    /// Moves a process to a different processing element in place.
+    ///
+    /// On an expanded graph the communication structure is kept as-is: the
+    /// move re-targets the process itself, which is the designer-level "what
+    /// if" question an interactive exploration asks before committing to a
+    /// re-expansion.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown identifiers, the dummy source/sink, and processes that
+    /// are not currently mapped.
+    pub fn set_mapping(&mut self, id: ProcessId, pe: PeId) -> Result<(), crate::edit::EditError> {
+        self.editable(id)?;
+        if self.processes[id.0].mapping.is_none() {
+            return Err(crate::edit::EditError::UnmappedProcess(id));
+        }
+        self.processes[id.0].mapping = Some(pe);
+        Ok(())
+    }
+
+    /// Replaces the guard `X_Pi` of a process in place.
+    ///
+    /// Guard edits are structural: callers holding cached per-track state
+    /// must re-enumerate the alternative paths afterwards (see
+    /// [`EditScope::Structural`](crate::EditScope)).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown identifiers and the dummy source/sink.
+    pub fn set_guard(&mut self, id: ProcessId, guard: Guard) -> Result<(), crate::edit::EditError> {
+        self.editable(id)?;
+        self.processes[id.0].guard = guard;
+        Ok(())
+    }
 }
 
 impl fmt::Display for Cpg {

@@ -58,6 +58,7 @@
 
 mod cond;
 mod dot;
+mod edit;
 mod error;
 mod expand;
 mod graph;
@@ -68,6 +69,7 @@ pub mod examples;
 
 pub use cond::{all_assignments, Assignment, CondId, Cube, Guard, Literal, MAX_CONDITIONS};
 pub use dot::to_dot;
+pub use edit::{EditError, EditScope, FrontierHasher, SystemEdit};
 pub use error::{BuildCpgError, ExpandError};
 pub use expand::{expand_communications, BusPolicy};
 pub use graph::{Cpg, CpgBuilder, Edge};

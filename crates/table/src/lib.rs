@@ -34,4 +34,4 @@ pub use analysis::{to_csv, utilization, ResourceLoad};
 pub use dispatch::{per_processor_dispatch, DispatchEntry, DispatchTable};
 pub use error::TableViolation;
 pub use table::ScheduleTable;
-pub use txn::{TableTxn, TableView, TxnLog};
+pub use txn::{row_fingerprint, TableTxn, TableView, TxnLog};

@@ -267,6 +267,52 @@ impl ScheduleTable {
         }
     }
 
+    /// Grafts a column into the table: returns the insertion-order index of
+    /// the column headed by `column`, appending a fresh column past the
+    /// current [`column bound`](crate::TableView::column_bound) when the cube
+    /// is not tabled yet.
+    ///
+    /// This is the renumbering primitive behind
+    /// [`TableView::splice_log`](crate::TableView::splice_log): a retained
+    /// column keeps its index, a transaction-local column key is renumbered
+    /// to the next free index, and because logs replay in their original
+    /// write order the relative order of spliced columns — and hence the
+    /// serial entry order inside every row — is preserved.
+    pub fn graft_column(&mut self, column: Cube) -> usize {
+        self.column_index_or_insert(column)
+    }
+
+    /// Replays a chronological write log with each distinct column resolved
+    /// to its grafted index exactly once, writing cells by direct index.
+    ///
+    /// Must be observably identical to calling [`ScheduleTable::set_on`] per
+    /// write (including per-write row version bumps); it only skips the
+    /// repeated column lookups.
+    pub(crate) fn splice_writes(&mut self, writes: &[crate::txn::Write]) {
+        let mut grafted: Vec<(Cube, u32)> = Vec::new();
+        for write in writes {
+            let index = match grafted.binary_search_by(|&(c, _)| c.cmp(&write.column)) {
+                Ok(at) => grafted[at].1,
+                Err(at) => {
+                    let index = self.column_index_or_insert(write.column) as u32;
+                    grafted.insert(at, (write.column, index));
+                    index
+                }
+            };
+            let position = self.row_position_or_insert(write.job);
+            self.bump_version(write.job);
+            let cell = Cell {
+                time: write.time,
+                resource: write.resource,
+            };
+            let entries = &mut self.rows[position].entries;
+            match entries.binary_search_by_key(&index, |&(i, _)| i) {
+                Ok(at) => entries[at].1 = cell,
+                Err(at) => entries.insert(at, (index, cell)),
+            }
+        }
+    }
+
     /// Removes the activation time of `job` in the column headed by `column`,
     /// returning it if it was present.
     pub fn remove(&mut self, job: Job, column: &Cube) -> Option<Time> {

@@ -14,9 +14,19 @@
 //!
 //! Two ingredients make the validation sound:
 //!
-//! * **Row versions** ([`ScheduleTable::row_version`]): every row carries a
-//!   write counter; a transaction records `(job, version)` on *every* read
-//!   and the log replays only if all recorded versions still match.
+//! * **Content-based read dependencies**: a point probe ([`TableView::get`] /
+//!   [`TableView::resource`]) records the exact `(job, column)` cell and the
+//!   value it observed; a row scan ([`TableView::for_each_keyed_entry_on`])
+//!   records an order-sensitive FNV fingerprint of the full keyed entry list.
+//!   [`TxnLog::validate`] re-probes the base and succeeds only if every
+//!   recorded observation would be reproduced verbatim. This is strictly
+//!   finer than the earlier per-row write counters: a sibling that rewrites a
+//!   cell with the same value, or writes a *different* cell of a row this
+//!   transaction only point-probed, no longer discards the speculation —
+//!   which matters because every forward subtree writes the resolved
+//!   condition's broadcast row, a row the back branch's rule-3 scan always
+//!   touches. Entry additions to a scanned row still invalidate (the
+//!   fingerprint covers keys, so ordering changes are caught too).
 //! * **Column-creation tracking**: a transaction that creates a column keys
 //!   it past the base's column bound, preserving the relative entry order the
 //!   serial walk would produce. If a sibling committed the *same* column cube
@@ -30,14 +40,40 @@
 //! child transactions read through a shared `&TableTxn` from their worker
 //! threads; the overlay rows themselves are only written through `&mut self`
 //! and are therefore frozen while shared.
+//!
+//! A validated log is normally replayed with [`TableView::splice_log`]:
+//! [`ScheduleTable`] overrides the write-by-write default with *column
+//! splicing* — every distinct column cube of the log is grafted
+//! (found-or-appended, renumbering the transaction-local keys past the
+//! table's current column bound) exactly once, then the cells are written by
+//! direct column index in chronological order, preserving the serial entry
+//! order inside every row.
 
+use std::hash::Hash;
 use std::sync::Mutex;
 
-use cpg::Cube;
+use cpg::{Cube, FrontierHasher};
 use cpg_arch::{PeId, Time};
 use cpg_path_sched::Job;
 
 use crate::ScheduleTable;
+
+/// Order-sensitive FNV-1a fingerprint of the keyed entry list of one row.
+///
+/// Two views whose rows fingerprint equal would feed a scan the exact same
+/// `(key, column, time, resource)` sequence; [`TxnLog::validate`] uses this
+/// to re-check recorded row scans by content instead of by write version.
+#[must_use]
+pub fn row_fingerprint<V: TableView + ?Sized>(view: &V, job: Job) -> u64 {
+    let mut hasher = FrontierHasher::new();
+    let mut entries = 0u64;
+    view.for_each_keyed_entry_on(job, &mut |key, column, time, resource| {
+        entries += 1;
+        (key, column, time, resource).hash(&mut hasher);
+    });
+    entries.hash(&mut hasher);
+    std::hash::Hasher::finish(&hasher)
+}
 
 /// The table operations the merge walk needs, abstracted so the walk can run
 /// against the real [`ScheduleTable`] or a speculative [`TableTxn`] overlay.
@@ -96,6 +132,19 @@ pub trait TableView {
     /// The exclusive upper bound of the keys handed out so far; a
     /// transaction layered over this view keys its fresh columns from here.
     fn column_bound(&self) -> u64;
+
+    /// Replays a committed log into this view in its original write order.
+    ///
+    /// The default replays write-by-write through [`TableView::set_on`];
+    /// [`ScheduleTable`] overrides it with column splicing (each distinct
+    /// column cube resolved to an index exactly once, then direct-index cell
+    /// writes), so both the cold walk and an incremental re-merge replaying
+    /// cached logs take the fast path on the real table.
+    fn splice_log(&mut self, log: &TxnLog) {
+        for write in &log.writes {
+            self.set_on(write.job, write.column, write.time, write.resource);
+        }
+    }
 }
 
 // The impl methods are `#[inline]`: the serial walk is monomorphized over
@@ -153,15 +202,68 @@ impl TableView for ScheduleTable {
     fn column_bound(&self) -> u64 {
         self.num_columns() as u64
     }
+
+    #[inline]
+    fn splice_log(&mut self, log: &TxnLog) {
+        self.splice_writes(&log.writes);
+    }
 }
 
 /// One buffered write of a transaction, replayed verbatim on commit.
 #[derive(Debug, Clone, Copy)]
-struct Write {
-    job: Job,
-    column: Cube,
-    time: Time,
-    resource: Option<PeId>,
+pub(crate) struct Write {
+    pub(crate) job: Job,
+    pub(crate) column: Cube,
+    pub(crate) time: Time,
+    pub(crate) resource: Option<PeId>,
+}
+
+/// The content-based read set of a transaction: what was observed, so
+/// validation can re-check that the base would still serve the same answers.
+#[derive(Debug, Default)]
+struct ReadSet {
+    /// `(job, column, observed time)` for every point probe of a row the
+    /// transaction never wrote, sorted by `(job, column)`, first probe wins
+    /// (the base is frozen, so later probes observe the same value).
+    time_probes: Vec<(Job, Cube, Option<Time>)>,
+    /// `(job, column, observed resource)` for every resource probe of an
+    /// unwritten row, sorted like `time_probes`.
+    resource_probes: Vec<(Job, Cube, Option<PeId>)>,
+    /// `(job, fingerprint)` for every row the transaction scanned (or cloned
+    /// into its overlay on first write), sorted by job.
+    row_scans: Vec<(Job, u64)>,
+}
+
+impl ReadSet {
+    fn note_time(&mut self, job: Job, column: Cube, observed: Option<Time>) {
+        if let Err(at) = self
+            .time_probes
+            .binary_search_by(|&(j, c, _)| (j, c).cmp(&(job, column)))
+        {
+            self.time_probes.insert(at, (job, column, observed));
+        }
+    }
+
+    fn note_resource(&mut self, job: Job, column: Cube, observed: Option<PeId>) {
+        if let Err(at) = self
+            .resource_probes
+            .binary_search_by(|&(j, c, _)| (j, c).cmp(&(job, column)))
+        {
+            self.resource_probes.insert(at, (job, column, observed));
+        }
+    }
+
+    fn has_row_scan(&self, job: Job) -> bool {
+        self.row_scans
+            .binary_search_by_key(&job, |&(j, _)| j)
+            .is_ok()
+    }
+
+    fn note_row_scan(&mut self, job: Job, fingerprint: u64) {
+        if let Err(at) = self.row_scans.binary_search_by_key(&job, |&(j, _)| j) {
+            self.row_scans.insert(at, (job, fingerprint));
+        }
+    }
 }
 
 /// One overlay row: the merged `(key, column, time, resource)` entries of the
@@ -177,8 +279,9 @@ struct TxnRow {
 /// A speculative write overlay over a frozen [`TableView`].
 ///
 /// Reads fall through to the base until the transaction first writes a row,
-/// at which point the base row is cloned into the overlay; every read or
-/// write records the base row's version into the read set. Fresh columns are
+/// at which point the base row is cloned into the overlay (recording a
+/// content fingerprint of the base row); point probes of unwritten rows
+/// record the observed value per `(job, column)` cell. Fresh columns are
 /// keyed past the base's [`TableView::column_bound`] in first-write order,
 /// which is exactly the insertion order a serial replay of the write log
 /// produces.
@@ -190,10 +293,14 @@ pub struct TableTxn<'b> {
     new_columns: Vec<Cube>,
     /// Overlay rows, sorted by job.
     rows: Vec<TxnRow>,
-    /// `(job, base version observed)` for every row this transaction read,
-    /// sorted by job. Behind a mutex because sibling child transactions read
-    /// through a shared `&TableTxn` from their worker threads.
-    reads: Mutex<Vec<(Job, u64)>>,
+    /// `false` for replay overlays ([`TableTxn::readless`]): no read is ever
+    /// recorded and no row is fingerprinted, because the log of such an
+    /// overlay is only spliced (writes), never validated.
+    record_reads: bool,
+    /// Content-based read dependencies. Behind a mutex because sibling child
+    /// transactions read through a shared `&TableTxn` from their worker
+    /// threads.
+    reads: Mutex<ReadSet>,
     /// Chronological write log, replayed by [`TxnLog::commit_into`].
     writes: Vec<Write>,
 }
@@ -201,7 +308,7 @@ pub struct TableTxn<'b> {
 impl<'b> TableTxn<'b> {
     /// Opens a transaction over `base`, which must not change (other than
     /// through this transaction's eventual commit) while the transaction or
-    /// its log is validated against it — the read set records versions at
+    /// its log is validated against it — the read set records observations at
     /// first touch.
     #[must_use]
     pub fn new(base: &'b (dyn TableView + Sync)) -> Self {
@@ -210,19 +317,39 @@ impl<'b> TableTxn<'b> {
             base,
             new_columns: Vec::new(),
             rows: Vec::new(),
-            reads: Mutex::new(Vec::new()),
+            record_reads: true,
+            reads: Mutex::new(ReadSet::default()),
             writes: Vec::new(),
         }
     }
 
-    /// Records that the row of `job` was read, returning the base version.
-    fn note_read(&self, job: Job) -> u64 {
-        let version = self.base.row_version(job);
-        let mut reads = self.reads.lock().expect("transaction read set poisoned");
-        if let Err(at) = reads.binary_search_by_key(&job, |&(j, _)| j) {
-            reads.insert(at, (job, version));
+    /// Opens an overlay that records **no** read dependencies.
+    ///
+    /// For replaying already-validated (or about-to-be-validated) logs: the
+    /// overlay only has to answer reads consistently — base plus the writes
+    /// committed into it so far — while its own log is never validated, so
+    /// fingerprinting rows and noting probes would be pure overhead. Its
+    /// [`TxnLog::validate`] trivially succeeds; never use it for speculation.
+    #[must_use]
+    pub fn readless(base: &'b (dyn TableView + Sync)) -> Self {
+        Self {
+            record_reads: false,
+            ..Self::new(base)
         }
-        version
+    }
+
+    fn reads(&self) -> std::sync::MutexGuard<'_, ReadSet> {
+        self.reads.lock().expect("transaction read set poisoned")
+    }
+
+    /// Records a scan dependency on the base row of `job`, fingerprinting it
+    /// unless a scan was already recorded.
+    fn note_base_row_scan(&self, job: Job) {
+        if !self.record_reads || self.reads().has_row_scan(job) {
+            return;
+        }
+        let fingerprint = row_fingerprint(self.base, job);
+        self.reads().note_row_scan(job, fingerprint);
     }
 
     fn overlay(&self, job: Job) -> Option<&TxnRow> {
@@ -278,8 +405,9 @@ impl<'b> TableTxn<'b> {
 
 impl TableView for TableTxn<'_> {
     fn get(&self, job: Job, column: &Cube) -> Option<Time> {
-        self.note_read(job);
         match self.overlay(job) {
+            // Overlay rows need no recording: the base row was fingerprinted
+            // when it was cloned in, and the overlay itself is private.
             Some(row) => {
                 let key = self.key_of(column)?;
                 row.entries
@@ -287,12 +415,17 @@ impl TableView for TableTxn<'_> {
                     .ok()
                     .map(|at| row.entries[at].2)
             }
-            None => self.base.get(job, column),
+            None => {
+                let observed = self.base.get(job, column);
+                if self.record_reads {
+                    self.reads().note_time(job, *column, observed);
+                }
+                observed
+            }
         }
     }
 
     fn resource(&self, job: Job, column: &Cube) -> Option<PeId> {
-        self.note_read(job);
         match self.overlay(job) {
             Some(row) => {
                 let key = self.key_of(column)?;
@@ -301,7 +434,13 @@ impl TableView for TableTxn<'_> {
                     .ok()
                     .and_then(|at| row.entries[at].3)
             }
-            None => self.base.resource(job, column),
+            None => {
+                let observed = self.base.resource(job, column);
+                if self.record_reads {
+                    self.reads().note_resource(job, *column, observed);
+                }
+                observed
+            }
         }
     }
 
@@ -312,17 +451,29 @@ impl TableView for TableTxn<'_> {
         time: Time,
         resource: Option<PeId>,
     ) -> Option<Time> {
-        self.note_read(job);
         let key = self.key_or_insert(column);
         let at = match self.rows.binary_search_by_key(&job, |row| row.job) {
             Ok(at) => at,
             Err(at) => {
                 // First write to this row: clone the base row into the
-                // overlay so later reads see a complete merged row.
+                // overlay so later reads see a complete merged row, and
+                // record a content dependency on the base state that was
+                // cloned (fingerprinted in the same pass).
                 let mut entries = Vec::new();
-                self.base.for_each_keyed_entry_on(job, &mut |k, c, t, r| {
-                    entries.push((k, c, t, r));
-                });
+                if self.record_reads {
+                    let mut hasher = FrontierHasher::new();
+                    self.base.for_each_keyed_entry_on(job, &mut |k, c, t, r| {
+                        (k, c, t, r).hash(&mut hasher);
+                        entries.push((k, c, t, r));
+                    });
+                    (entries.len() as u64).hash(&mut hasher);
+                    self.reads()
+                        .note_row_scan(job, std::hash::Hasher::finish(&hasher));
+                } else {
+                    self.base.for_each_keyed_entry_on(job, &mut |k, c, t, r| {
+                        entries.push((k, c, t, r));
+                    });
+                }
                 self.rows.insert(
                     at,
                     TxnRow {
@@ -360,20 +511,37 @@ impl TableView for TableTxn<'_> {
         job: Job,
         visit: &mut dyn FnMut(u64, Cube, Time, Option<PeId>),
     ) {
-        self.note_read(job);
         match self.overlay(job) {
             Some(row) => {
                 for &(key, column, time, resource) in &row.entries {
                     visit(key, column, time, resource);
                 }
             }
-            None => self.base.for_each_keyed_entry_on(job, visit),
+            None if !self.record_reads || self.reads().has_row_scan(job) => {
+                self.base.for_each_keyed_entry_on(job, visit);
+            }
+            None => {
+                // Fingerprint the base row in the same pass that serves the
+                // scan.
+                let mut hasher = FrontierHasher::new();
+                let mut entries = 0u64;
+                self.base.for_each_keyed_entry_on(job, &mut |k, c, t, r| {
+                    entries += 1;
+                    (k, c, t, r).hash(&mut hasher);
+                    visit(k, c, t, r);
+                });
+                entries.hash(&mut hasher);
+                self.reads()
+                    .note_row_scan(job, std::hash::Hasher::finish(&hasher));
+            }
         }
     }
 
     fn row_version(&self, job: Job) -> u64 {
-        let base = self.note_read(job);
-        base + self.overlay(job).map_or(0, |row| row.written)
+        // Version numbers leak write history, not content; treat the call as
+        // a full row dependency so validation stays conservative here.
+        self.note_base_row_scan(job);
+        self.base.row_version(job) + self.overlay(job).map_or(0, |row| row.written)
     }
 
     fn has_column(&self, column: &Cube) -> bool {
@@ -393,7 +561,7 @@ impl TableView for TableTxn<'_> {
 /// chronological write log.
 #[derive(Debug)]
 pub struct TxnLog {
-    reads: Vec<(Job, u64)>,
+    reads: ReadSet,
     new_columns: Vec<Cube>,
     writes: Vec<Write>,
 }
@@ -406,16 +574,41 @@ impl TxnLog {
         self.writes.is_empty()
     }
 
-    /// `true` when the speculation still holds against `base`: every row the
-    /// transaction read is at the version it observed, and no column the
-    /// transaction created has meanwhile been created in the base (which
-    /// would give the replayed entries a different global order than the
-    /// speculation assumed).
+    /// Number of buffered writes.
+    #[must_use]
+    pub fn num_writes(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// The column cubes this log writes under, in write order (duplicates
+    /// possible). An incremental re-merge uses them to bound which
+    /// alternative paths a changed table region can affect.
+    pub fn written_columns(&self) -> impl Iterator<Item = Cube> + '_ {
+        self.writes.iter().map(|write| write.column)
+    }
+
+    /// `true` when the speculation still holds against `base`: every point
+    /// probe would observe the value it recorded, every scanned row still
+    /// fingerprints to the recorded content, and no column the transaction
+    /// created has meanwhile been created in the base (which would give the
+    /// replayed entries a different global order than the speculation
+    /// assumed).
     #[must_use]
     pub fn validate<V: TableView + ?Sized>(&self, base: &V) -> bool {
         self.reads
+            .time_probes
             .iter()
-            .all(|&(job, version)| base.row_version(job) == version)
+            .all(|&(job, column, observed)| base.get(job, &column) == observed)
+            && self
+                .reads
+                .resource_probes
+                .iter()
+                .all(|&(job, column, observed)| base.resource(job, &column) == observed)
+            && self
+                .reads
+                .row_scans
+                .iter()
+                .all(|&(job, fingerprint)| row_fingerprint(base, job) == fingerprint)
             && self
                 .new_columns
                 .iter()
@@ -516,6 +709,36 @@ mod tests {
     }
 
     #[test]
+    fn readless_overlays_record_no_dependencies_and_always_validate() {
+        let mut table = ScheduleTable::new();
+        table.set_on(p(1), Cube::top(), Time::new(4), Some(PeId::from_index(0)));
+        let base: &(dyn TableView + Sync) = &table;
+        let mut txn = TableTxn::readless(base);
+        // Reads answer exactly like a recording overlay would...
+        assert_eq!(txn.get(p(1), &Cube::top()), Some(Time::new(4)));
+        assert_eq!(txn.get(p(2), &Cube::top()), None);
+        txn.set_on(p(2), cube_t(0), Time::new(7), None);
+        assert_eq!(txn.get(p(2), &cube_t(0)), Some(Time::new(7)));
+        let log = txn.into_log();
+        assert_eq!(log.written_columns().collect::<Vec<_>>(), vec![cube_t(0)]);
+        // ...but none of them became a dependency: the log still validates
+        // after every observed cell changed under it.
+        table.set(p(1), Cube::top(), Time::new(9));
+        table.set(p(2), Cube::top(), Time::new(1));
+        assert!(log.validate(&table));
+
+        // A recording overlay with the same history catches the change.
+        let mut other = ScheduleTable::new();
+        other.set_on(p(1), Cube::top(), Time::new(4), Some(PeId::from_index(0)));
+        let base: &(dyn TableView + Sync) = &other;
+        let txn = TableTxn::new(base);
+        assert_eq!(txn.get(p(1), &Cube::top()), Some(Time::new(4)));
+        let recorded = txn.into_log();
+        other.set(p(1), Cube::top(), Time::new(9));
+        assert!(!recorded.validate(&other));
+    }
+
+    #[test]
     fn overlay_iteration_order_matches_a_serial_replay() {
         // Base has columns [top, c0]; the txn writes a fresh column c1 and
         // then another base column. After commit the real table's row must
@@ -538,18 +761,58 @@ mod tests {
     }
 
     #[test]
-    fn validation_fails_when_a_read_row_changes() {
+    fn validation_is_per_cell_and_content_based() {
         let mut table = ScheduleTable::new();
         table.set(p(1), Cube::top(), Time::new(0));
         let base: &(dyn TableView + Sync) = &table;
         let txn = TableTxn::new(base);
-        // A pure read (even of an absent row) is a dependency.
+        // A point probe (even of an absent cell) is a dependency on that
+        // cell's content.
         assert_eq!(txn.get(p(1), &Cube::top()), Some(Time::new(0)));
         assert_eq!(txn.get(p(2), &Cube::top()), None);
         let log = txn.into_log();
         assert!(log.validate(&table));
-        // A sibling writes a row this txn read: speculation is stale.
+        // A sibling writing a *different* cell of a probed row no longer
+        // discards the speculation (the old per-row versions did).
         table.set(p(2), cube_t(0), Time::new(5));
+        assert!(log.validate(&table));
+        // Neither does rewriting a probed cell with the same value.
+        table.set(p(1), Cube::top(), Time::new(0));
+        assert!(log.validate(&table));
+        // Changing the probed value does.
+        table.set(p(1), Cube::top(), Time::new(9));
+        assert!(!log.validate(&table));
+    }
+
+    #[test]
+    fn validation_fails_when_a_probed_absent_cell_appears() {
+        let mut table = ScheduleTable::new();
+        table.set(p(1), Cube::top(), Time::new(0));
+        let base: &(dyn TableView + Sync) = &table;
+        let txn = TableTxn::new(base);
+        assert_eq!(txn.get(p(2), &Cube::top()), None);
+        let log = txn.into_log();
+        assert!(log.validate(&table));
+        table.set(p(2), Cube::top(), Time::new(5));
+        assert!(!log.validate(&table));
+    }
+
+    #[test]
+    fn validation_fails_when_a_scanned_row_gains_an_entry() {
+        let mut table = ScheduleTable::new();
+        table.set(p(1), Cube::top(), Time::new(0));
+        let base: &(dyn TableView + Sync) = &table;
+        let txn = TableTxn::new(base);
+        let mut seen = 0;
+        txn.for_each_entry_on(p(1), &mut |_, _, _| seen += 1);
+        assert_eq!(seen, 1);
+        let log = txn.into_log();
+        assert!(log.validate(&table));
+        // Same content rewrite of the scanned row: fingerprint unchanged.
+        table.set(p(1), Cube::top(), Time::new(0));
+        assert!(log.validate(&table));
+        // A new entry in the scanned row changes what the scan would feed.
+        table.set(p(1), cube_t(0), Time::new(3));
         assert!(!log.validate(&table));
     }
 
@@ -583,8 +846,9 @@ mod tests {
         let mut inner_fwd = TableTxn::new(frozen);
         let inner_back = TableTxn::new(frozen);
         inner_fwd.set_on(p(2), cube_t(1), Time::new(4), None);
-        // The back speculation reads the row the forward branch writes.
-        assert_eq!(inner_back.get(p(2), &cube_t(0)), Some(Time::new(2)));
+        // The back speculation probes the very cell the forward branch
+        // writes.
+        assert_eq!(inner_back.get(p(2), &cube_t(1)), None);
         let fwd_log = inner_fwd.into_log();
         let back_log = inner_back.into_log();
         fwd_log.commit_into(&mut outer);
@@ -613,6 +877,49 @@ mod tests {
             ScheduleTable::get(&table, p(2), &cube_t(1)),
             Some(Time::new(4))
         );
+    }
+
+    #[test]
+    fn splice_log_matches_a_write_by_write_commit() {
+        let mut seed = ScheduleTable::new();
+        seed.set(p(1), Cube::top(), Time::new(0));
+        seed.set(p(1), cube_t(0), Time::new(1));
+        let mut spliced = seed.clone();
+        let mut replayed = seed.clone();
+
+        let base: &(dyn TableView + Sync) = &seed;
+        let mut txn = TableTxn::new(base);
+        // Fresh columns, an overwrite of a retained column, and an
+        // interleaved second fresh column exercise the graft/renumber path.
+        txn.set_on(p(2), cube_t(1), Time::new(2), Some(PeId::from_index(0)));
+        txn.set_on(p(1), cube_t(0), Time::new(7), None);
+        txn.set_on(p(2), cube_f(1), Time::new(3), None);
+        txn.set_on(p(3), cube_t(1), Time::new(4), None);
+        let log = txn.into_log();
+
+        log.commit_into(&mut replayed);
+        spliced.splice_log(&log);
+        assert_eq!(spliced, replayed);
+        let order: Vec<_> = spliced.entries(p(2)).collect();
+        let replayed_order: Vec<_> = replayed.entries(p(2)).collect();
+        assert_eq!(order, replayed_order);
+        for job in [p(1), p(2), p(3)] {
+            assert_eq!(spliced.row_version(job), replayed.row_version(job));
+        }
+    }
+
+    #[test]
+    fn graft_column_retains_and_renumbers() {
+        let mut table = ScheduleTable::new();
+        table.set(p(1), Cube::top(), Time::new(0));
+        table.set(p(1), cube_t(0), Time::new(1));
+        // Retained columns keep their index; a fresh cube is appended past
+        // the current bound.
+        assert_eq!(table.graft_column(Cube::top()), 0);
+        assert_eq!(table.graft_column(cube_t(0)), 1);
+        assert_eq!(table.graft_column(cube_t(1)), 2);
+        assert_eq!(table.graft_column(cube_t(1)), 2);
+        assert_eq!(table.num_columns(), 3);
     }
 
     #[test]

@@ -100,14 +100,15 @@ pub mod atm {
 pub mod prelude {
     pub use cpg::{
         enumerate_tracks, expand_communications, Assignment, BusPolicy, CondId, Cpg, CpgBuilder,
-        Cube, Guard, Literal, ProcessId, ProcessKind, Track, TrackSet,
+        Cube, EditError, EditScope, Guard, Literal, ProcessId, ProcessKind, SystemEdit, Track,
+        TrackSet,
     };
     pub use cpg_arch::{Architecture, PeId, PeKind, Time};
     pub use cpg_atm::{CpuModel, OamMode, OamPlatform};
     pub use cpg_gen::{generate, GeneratorConfig};
     pub use cpg_merge::{
         condition_oblivious_baseline, generate_schedule_table, MergeConfig, MergeResult,
-        SelectionPolicy,
+        MergeSession, ReuseStats, SelectionPolicy,
     };
     pub use cpg_path_sched::{
         Job, ListScheduler, LockSet, PathSchedule, RunScratch, SlippedLock, TrackContext,

@@ -1,0 +1,222 @@
+//! Differential test of incremental re-merge sessions against cold merges.
+//!
+//! A [`MergeSession`] keeps the explored decision tree between merges and,
+//! after an edit, replays the cached write logs of every subtree the edit
+//! provably cannot affect, re-walking only the invalidated region —
+//! speculatively when the thread budget allows. None of that is allowed to
+//! change a single table cell: after *every* edit of a random edit sequence,
+//! the session's warm merge must be bit-identical (table, tracks, path
+//! schedules, steps, counters, delays) to a cold `generate_schedule_table`
+//! of the edited system, at thread counts 1/2/4, and on a crafted system
+//! where the edited process sits under a condition subtree shared between
+//! sibling branches (so cached chains on the clean side must replay against
+//! rows the re-walked side rewrites).
+
+use proptest::prelude::*;
+
+use cps::merge::MergeStats;
+use cps::prelude::*;
+
+/// Generator configurations biased towards deep condition nests (many paths
+/// over few processes), where the session's chain cache holds the most
+/// subtrees; kept close to `tests/merge_walk_differential.rs` so the suites
+/// explore the same system space.
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        12usize..32,
+        2usize..8,
+        1usize..4,
+        1usize..3,
+        any::<u64>(),
+        prop::bool::ANY,
+    )
+        .prop_map(|(nodes, paths, processors, buses, seed, exponential)| {
+            let distribution = if exponential {
+                cps::gen::ExecTimeDistribution::Exponential { mean: 7.0 }
+            } else {
+                cps::gen::ExecTimeDistribution::Uniform { min: 1, max: 15 }
+            };
+            GeneratorConfig::new(nodes.max(3 * paths), paths)
+                .with_processors(processors)
+                .with_buses(buses)
+                .with_distribution(distribution)
+                .with_seed(seed)
+        })
+}
+
+/// A sequence of single-node WCET edits: `(process selector, new time)`
+/// pairs, resolved against the generated system's ordinary processes at run
+/// time (selector modulo process count, so every raw index is valid).
+fn edit_sequence_strategy() -> impl Strategy<Value = Vec<(usize, u64)>> {
+    proptest::collection::vec((any::<usize>(), 1u64..16), 1..5)
+}
+
+/// Field-wise equality of a warm session merge against the cold oracle
+/// (`MergeResult` deliberately does not implement `PartialEq`; comparing the
+/// pieces gives usable failure messages).
+fn assert_results_identical(
+    cold: &MergeResult,
+    warm: &MergeResult,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert!(cold.table() == warm.table(), "table diverged ({context})");
+    prop_assert_eq!(cold.tracks(), warm.tracks());
+    prop_assert!(
+        cold.path_schedules() == warm.path_schedules(),
+        "path schedules diverged ({context})"
+    );
+    prop_assert_eq!(cold.delta_m(), warm.delta_m());
+    prop_assert_eq!(cold.delta_max(), warm.delta_max());
+    prop_assert_eq!(cold.steps(), warm.steps());
+    let (cold_stats, warm_stats): (MergeStats, MergeStats) = (cold.stats(), warm.stats());
+    prop_assert!(
+        cold_stats == warm_stats,
+        "stats diverged ({context}): {cold_stats:?} vs {warm_stats:?}"
+    );
+    Ok(())
+}
+
+proptest! {
+    // Pinned case count and shrink budget: CI runs must be deterministic and
+    // fast regardless of PROPTEST_CASES / PROPTEST_MAX_SHRINK_ITERS in the
+    // environment.
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn warm_session_merges_match_cold_merges_after_every_edit(
+        config in config_strategy(),
+        edits in edit_sequence_strategy(),
+    ) {
+        let system = generate(&config);
+        let processes: Vec<ProcessId> = system.cpg().ordinary_processes().collect();
+        prop_assert!(!processes.is_empty(), "generated systems have ordinary processes");
+        // Tracing on: the step-by-step visit order is part of the contract —
+        // a replayed chain must surface the very steps it recorded.
+        let base = MergeConfig::new(system.broadcast_time()).with_trace(true);
+
+        for threads in [1usize, 2, 4] {
+            let merge_config = base.with_threads(threads);
+            let mut session = MergeSession::new(system.cpg(), system.arch(), &merge_config);
+            // The reference system receives the same edits and is merged
+            // cold (from nothing) after each one.
+            let mut reference = system.cpg().clone();
+
+            let cold = generate_schedule_table(&reference, system.arch(), &merge_config);
+            assert_results_identical(&cold, &session.merge(), &format!("cold, {threads} threads"))?;
+
+            for (step, &(selector, time)) in edits.iter().enumerate() {
+                let edit = SystemEdit::ExecTime {
+                    process: processes[selector % processes.len()],
+                    time: Time::new(time),
+                };
+                edit.apply(&mut reference).expect("ordinary processes are editable");
+                session.apply_edit(&edit).expect("ordinary processes are editable");
+
+                let cold = generate_schedule_table(&reference, system.arch(), &merge_config);
+                let warm = session.merge();
+                assert_results_identical(
+                    &cold,
+                    &warm,
+                    &format!("edit {step} ({edit}), {threads} threads"),
+                )?;
+            }
+        }
+    }
+}
+
+/// Crafted system where the edited process sits under a condition subtree
+/// shared between sibling branches: `C2` forks inside *both* branches of
+/// `C1`, so the per-branch tracks interleave their writes in shared table
+/// rows (the conjunction `sink` and the `C2` broadcast land in compatible
+/// columns on every path). Editing `b_t` dirties only the `C2`-true tracks;
+/// the cached chains of the `C2`-false subtrees — including the root chain,
+/// whose serial position precedes every re-walked sibling — must replay
+/// their logs, while chains ordered *after* a re-walked subtree see its
+/// rewritten rows and the content-based read validation degrades them to a
+/// re-walk. Either way the result must be bit-identical to a cold merge.
+fn shared_subtree_system() -> (Architecture, Cpg) {
+    let arch = Architecture::builder()
+        .processor("cpu0")
+        .processor("cpu1")
+        .bus("bus")
+        .build()
+        .unwrap();
+    let cpu0 = arch.pe_by_name("cpu0").unwrap();
+    let cpu1 = arch.pe_by_name("cpu1").unwrap();
+    let mut b = CpgBuilder::new();
+    let c1 = b.condition("C1");
+    let c2 = b.condition("C2");
+    let root = b.process("root", Time::new(4), cpu0);
+    let mid = b.process("mid", Time::new(4), cpu0);
+    let a_t = b.process("a_t", Time::new(3), cpu1);
+    let a_f = b.process("a_f", Time::new(6), cpu1);
+    let b_t = b.process("b_t", Time::new(2), cpu1);
+    let b_f = b.process("b_f", Time::new(5), cpu1);
+    let sink = b.process("sink", Time::new(2), cpu1);
+    b.conditional_edge(root, a_t, c1.is_true(), Time::ZERO);
+    b.conditional_edge(root, a_f, c1.is_false(), Time::ZERO);
+    b.simple_edge(root, mid, Time::ZERO);
+    b.conditional_edge(mid, b_t, c2.is_true(), Time::ZERO);
+    b.conditional_edge(mid, b_f, c2.is_false(), Time::ZERO);
+    b.simple_edge(a_t, sink, Time::ZERO);
+    b.simple_edge(a_f, sink, Time::ZERO);
+    b.simple_edge(b_t, sink, Time::ZERO);
+    b.simple_edge(b_f, sink, Time::ZERO);
+    b.mark_conjunction(sink);
+    let cpg = b.build(&arch).unwrap();
+    (arch, cpg)
+}
+
+#[test]
+fn warm_merges_match_cold_on_a_shared_condition_subtree_edit() {
+    let (arch, cpg) = shared_subtree_system();
+    let b_t = cpg
+        .ordinary_processes()
+        .find(|&p| cpg.process(p).name() == "b_t")
+        .expect("crafted system has b_t");
+    let base = MergeConfig::new(Time::new(1)).with_trace(true);
+
+    for threads in [1usize, 2, 4] {
+        let merge_config = base.with_threads(threads);
+        let mut session = MergeSession::new(&cpg, &arch, &merge_config);
+        session.merge();
+        let mut reference = cpg.clone();
+        assert!(
+            enumerate_tracks(&cpg).len() >= 4,
+            "both conditions must fork"
+        );
+
+        let mut replayed_after_some_edit = false;
+        // Walk b_t's WCET up and back down; every step dirties only the
+        // C2-true tracks.
+        for (step, time) in [3u64, 4, 2].into_iter().enumerate() {
+            let edit = SystemEdit::ExecTime {
+                process: b_t,
+                time: Time::new(time),
+            };
+            edit.apply(&mut reference).expect("b_t is editable");
+            session.apply_edit(&edit).expect("b_t is editable");
+
+            let cold = generate_schedule_table(&reference, &arch, &merge_config);
+            let warm = session.merge();
+            assert_eq!(
+                cold.table(),
+                warm.table(),
+                "table diverged at edit {step}, {threads} threads"
+            );
+            assert_eq!(cold.path_schedules(), warm.path_schedules());
+            assert_eq!(cold.steps(), warm.steps());
+            assert_eq!(cold.stats(), warm.stats());
+            assert_eq!(cold.delta_max(), warm.delta_max());
+            replayed_after_some_edit |= session.reuse_stats().chains_replayed > 0;
+        }
+        assert!(
+            replayed_after_some_edit,
+            "the clean C2-false subtrees never replayed at {threads} threads"
+        );
+    }
+}
