@@ -32,7 +32,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod architecture;
 mod error;

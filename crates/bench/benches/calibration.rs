@@ -22,6 +22,8 @@
 //! Keep these routines untouched across PRs — editing one silently rescales
 //! the gate for every committed baseline that contains its median.
 
+#![forbid(unsafe_code)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 /// Deterministic splitmix-style integer churn: branch-free, allocation-free,
@@ -77,7 +79,7 @@ fn calibration(c: &mut Criterion) {
     group.bench_function("spin", |b| b.iter(|| spin(black_box(20_000))));
     let cycle = chase_cycle();
     group.bench_function("chase", |b| {
-        b.iter(|| chase(black_box(&cycle), black_box(CHASE_STEPS)))
+        b.iter(|| chase(black_box(&cycle), black_box(CHASE_STEPS)));
     });
     group.finish();
 }

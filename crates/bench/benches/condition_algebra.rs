@@ -2,6 +2,8 @@
 //! and mutual-exclusion tests), the hot operations of the table-generation
 //! algorithm.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -20,16 +22,16 @@ fn condition_algebra(c: &mut Criterion) {
     let wide_b = build_cube(0x00FF_FF01, 32);
 
     c.bench_function("cube_and_cube", |bench| {
-        bench.iter(|| black_box(a).and_cube(&black_box(b)))
+        bench.iter(|| black_box(a).and_cube(&black_box(b)));
     });
     c.bench_function("cube_implies", |bench| {
-        bench.iter(|| black_box(wide_a).implies(&black_box(wide_b)))
+        bench.iter(|| black_box(wide_a).implies(&black_box(wide_b)));
     });
     c.bench_function("cube_excludes", |bench| {
-        bench.iter(|| black_box(a).excludes(&black_box(b)))
+        bench.iter(|| black_box(a).excludes(&black_box(b)));
     });
     c.bench_function("cube_literals_iteration", |bench| {
-        bench.iter(|| black_box(wide_a).literals().count())
+        bench.iter(|| black_box(wide_a).literals().count());
     });
 }
 

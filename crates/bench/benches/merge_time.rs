@@ -20,6 +20,8 @@
 //! four threads — the speculative transactional walk, reported for
 //! information only (its median depends on the runner's core count).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cpg::{enumerate_tracks, SystemEdit};
@@ -45,7 +47,7 @@ fn bench_group(c: &mut Criterion, group_name: &str, threads: usize) {
                 BenchmarkId::new(format!("{nodes}_nodes"), paths),
                 &system,
                 |b, system| {
-                    b.iter(|| generate_schedule_table(system.cpg(), system.arch(), &merge_config))
+                    b.iter(|| generate_schedule_table(system.cpg(), system.arch(), &merge_config));
                 },
             );
         }
@@ -77,7 +79,7 @@ fn merge_walk_group(c: &mut Criterion, group_name: &str, threads: usize) {
         // transactional walk on the same systems (info-only).
         let merge_config = MergeConfig::new(system.broadcast_time()).with_threads(threads);
         group.bench_with_input(BenchmarkId::from_parameter(paths), &system, |b, system| {
-            b.iter(|| generate_schedule_table(system.cpg(), system.arch(), &merge_config))
+            b.iter(|| generate_schedule_table(system.cpg(), system.arch(), &merge_config));
         });
     }
     group.finish();
@@ -162,7 +164,7 @@ fn merge_rewalk_group(c: &mut Criterion) {
                 cpg.set_exec_time(process, time)
                     .expect("ordinary processes are editable");
                 generate_schedule_table(&cpg, system.arch(), &merge_config)
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("warm", paths), &system, |b, system| {
             let mut session = MergeSession::new(system.cpg(), system.arch(), &merge_config);
@@ -179,7 +181,7 @@ fn merge_rewalk_group(c: &mut Criterion) {
                     .apply_edit(&SystemEdit::ExecTime { process, time })
                     .expect("ordinary processes are editable");
                 session.merge()
-            })
+            });
         });
     }
     group.finish();

@@ -3,6 +3,8 @@
 //! nodes": scheduling a single alternative path of 60-, 80- and 120-node
 //! graphs.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cpg::enumerate_tracks;

@@ -4,6 +4,8 @@
 //!
 //! Usage: `ablation_policy [graphs]` (default 20).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let graphs = std::env::args()
         .nth(1)

@@ -55,6 +55,8 @@
 //! accepted as input: the parser simply pairs `"benchmark"` strings with the
 //! `"median_ns_per_iter"` numbers that follow them.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::process::ExitCode;
 

@@ -15,7 +15,6 @@
 //! | ablation (ours) | `ablation_policy` | [`ablation_report`] |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;

@@ -56,6 +56,50 @@ fn warn_once(var: &str, value: &str) {
     );
 }
 
+/// Runs `body` with the environment variable `name` set to `value` (or
+/// removed, for `None`), restoring the previous state afterwards — even when
+/// `body` panics.
+///
+/// The process environment is global and the test harness is parallel, so
+/// **every** test that mutates an environment variable must go through this
+/// helper: all mutations serialize behind one shared lock, and the
+/// save/restore keeps one test's variables from leaking into another's
+/// `threads_from_env` probes. Only compiled for tests (and the `test-util`
+/// feature, so integration suites in other crates can share the same lock).
+///
+/// The lock is held for the whole `body` and is not reentrant: do not nest
+/// `with_env_var` calls (set both variables from one body instead).
+#[cfg(any(test, feature = "test-util"))]
+pub fn with_env_var<R>(name: &str, value: Option<&str>, body: impl FnOnce() -> R) -> R {
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+    // A panicking body poisons nothing worth keeping: the guard below
+    // restores the variable either way.
+    let _serialized = ENV_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    struct Restore<'n> {
+        name: &'n str,
+        previous: Option<String>,
+    }
+    impl Drop for Restore<'_> {
+        fn drop(&mut self) {
+            match &self.previous {
+                Some(previous) => std::env::set_var(self.name, previous),
+                None => std::env::remove_var(self.name),
+            }
+        }
+    }
+    let _restore = Restore {
+        name,
+        previous: std::env::var(name).ok(),
+    };
+    match value {
+        Some(value) => std::env::set_var(name, value),
+        None => std::env::remove_var(name),
+    }
+    body()
+}
+
 /// Rule used to pick the next current schedule after a back-step in the
 /// decision tree.
 ///
@@ -288,19 +332,36 @@ mod tests {
 
     #[test]
     fn threads_from_env_reads_the_process_environment() {
-        // Unique variable names: tests run concurrently in one process and
-        // the environment is process-global.
-        assert_eq!(threads_from_env("CPG_TEST_THREADS_UNSET"), None);
-        // set_var is safe in Rust 2021 (no unsafe block required) but the
-        // environment is shared — touch only test-unique names.
-        std::env::set_var("CPG_TEST_THREADS_SET", "6");
-        assert_eq!(
-            threads_from_env("CPG_TEST_THREADS_SET"),
-            NonZeroUsize::new(6)
-        );
-        std::env::set_var("CPG_TEST_THREADS_BAD", "lots");
-        assert_eq!(threads_from_env("CPG_TEST_THREADS_BAD"), None);
-        std::env::remove_var("CPG_TEST_THREADS_SET");
-        std::env::remove_var("CPG_TEST_THREADS_BAD");
+        // The environment is process-global and tests run concurrently, so
+        // every mutation goes through the serializing helper.
+        with_env_var("CPG_TEST_THREADS_UNSET", None, || {
+            assert_eq!(threads_from_env("CPG_TEST_THREADS_UNSET"), None);
+        });
+        with_env_var("CPG_TEST_THREADS_SET", Some("6"), || {
+            assert_eq!(
+                threads_from_env("CPG_TEST_THREADS_SET"),
+                NonZeroUsize::new(6)
+            );
+        });
+        with_env_var("CPG_TEST_THREADS_BAD", Some("lots"), || {
+            assert_eq!(threads_from_env("CPG_TEST_THREADS_BAD"), None);
+        });
+    }
+
+    #[test]
+    fn with_env_var_restores_previous_values() {
+        // The lock is held for the whole body, so the helper must not nest;
+        // sequential calls check the save/restore instead.
+        let var = "CPG_TEST_THREADS_RESTORE";
+        with_env_var(var, Some("2"), || {
+            assert_eq!(threads_from_env(var), NonZeroUsize::new(2));
+        });
+        assert_eq!(threads_from_env(var), None);
+        let panicked = std::panic::catch_unwind(|| {
+            with_env_var(var, Some("7"), || panic!("boom"));
+        });
+        assert!(panicked.is_err());
+        // Restored even though the body panicked.
+        assert_eq!(threads_from_env(var), None);
     }
 }

@@ -52,7 +52,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod baseline;
 mod config;
@@ -61,9 +60,13 @@ mod result;
 mod session;
 
 pub use baseline::{condition_oblivious_baseline, BaselineResult};
+#[cfg(any(test, feature = "test-util"))]
+pub use config::with_env_var;
 pub use config::{threads_from_env, MergeConfig, SelectionPolicy};
 #[cfg(any(test, feature = "test-util"))]
 pub use merge::generate_schedule_table_cloning;
+#[cfg(any(test, feature = "test-util"))]
+pub use merge::sabotage;
 pub use merge::{generate_schedule_table, generate_schedule_table_for_tracks};
 pub use result::{MergeResult, MergeStats, MergeStep};
 pub use session::{MergeSession, ReuseStats};

@@ -55,6 +55,47 @@ use cpg_table::{ScheduleTable, TableTxn, TableView};
 use crate::config::{MergeConfig, SelectionPolicy};
 use crate::result::{MergeResult, MergeStats, MergeStep};
 
+/// Test-only fault injection: re-introduces the known commit-order bug of
+/// committing the back-branch speculation without validating its read set,
+/// so the race explorer can prove it detects the resulting stale commit
+/// (`tests/race_explorer.rs`). Engaging the switch returns a guard that
+/// restores the correct protocol on drop; the flag is process-global, so
+/// tests using it must serialize.
+#[cfg(any(test, feature = "test-util"))]
+pub mod sabotage {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SKIP_BACK_VALIDATION: AtomicBool = AtomicBool::new(false);
+
+    /// Guard that keeps the walk committing back-branch logs *without*
+    /// validation while alive.
+    #[derive(Debug)]
+    pub struct SkipBackValidation {
+        _not_send: std::marker::PhantomData<*const ()>,
+    }
+
+    impl SkipBackValidation {
+        /// Engages the fault; dropping the guard disengages it.
+        #[must_use]
+        pub fn engage() -> Self {
+            SKIP_BACK_VALIDATION.store(true, Ordering::SeqCst);
+            SkipBackValidation {
+                _not_send: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl Drop for SkipBackValidation {
+        fn drop(&mut self) {
+            SKIP_BACK_VALIDATION.store(false, Ordering::SeqCst);
+        }
+    }
+
+    pub(crate) fn skip_back_validation() -> bool {
+        SKIP_BACK_VALIDATION.load(Ordering::SeqCst)
+    }
+}
+
 /// Generates the schedule table of a conditional process graph.
 ///
 /// The graph must already contain its communication processes (see
@@ -481,6 +522,7 @@ impl MergeShared<'_> {
     ///
     /// Returns `false` when no stale entry could be located (the slip then
     /// survives as-is and is picked up by the final realizability sweep).
+    // lint: hot-path (Theorem-2 conflict repair runs inside the walk's inner loop)
     fn repair_slip<V: TableView + ?Sized>(
         &self,
         state: &mut WalkState,
@@ -657,6 +699,7 @@ impl MergeShared<'_> {
     /// The walk is generic over the [`TableView`] it writes through: the
     /// real [`ScheduleTable`] at the root, a [`TableTxn`] overlay when a
     /// speculative ancestor ran out of thread budget for this subtree.
+    // lint: hot-path (the allocation-free undo-log walk; see PR 5)
     fn walk_serial<V: TableView + ?Sized>(
         &self,
         state: &mut WalkState,
@@ -922,7 +965,13 @@ impl MergeShared<'_> {
         let forward_log = txn_fwd.into_log();
         let back_log = txn_back.into_log();
         view.splice_log(&forward_log);
-        if back_log.validate(view) {
+        let back_valid = back_log.validate(view);
+        // Mutation self-test hook: pretend the stale back log validated.
+        // The race explorer must flag the resulting commit as a protocol
+        // violation (tests/race_explorer.rs).
+        #[cfg(any(test, feature = "test-util"))]
+        let back_valid = back_valid || sabotage::skip_back_validation();
+        if back_valid {
             view.splice_log(&back_log);
             state.absorb_output(back_state);
         } else {
@@ -1216,6 +1265,7 @@ impl MergeShared<'_> {
 
     /// Rules 2 and 4: place one activation time, repairing conflicts by the
     /// Theorem-2 loop when necessary.
+    // lint: hot-path (one table placement per node visit)
     fn place<V: TableView + ?Sized>(
         &self,
         state: &mut WalkState,

@@ -1,0 +1,6 @@
+//! A crate root that forgot `#![forbid(unsafe_code)]` — the attribute only
+//! appears inside this doc comment and a string, neither of which counts.
+
+pub fn attribute_in_a_string_does_not_count() -> &'static str {
+    "#![forbid(unsafe_code)]"
+}

@@ -683,6 +683,7 @@ impl<'a> TrackContext<'a> {
     /// All working state lives in `scratch` (reset and sized on entry), so
     /// after one run on the largest track of the graph, further runs through
     /// the same arena touch the allocator only for the returned schedule.
+    // lint: hot-path (list scheduling of one path; arena-backed, no fresh buffers)
     fn run(
         &self,
         scratch: &mut RunScratch,
@@ -696,6 +697,7 @@ impl<'a> TrackContext<'a> {
 
     /// [`run`](Self::run) writing the produced schedule into `out` (cleared
     /// and refilled, buffers reused).
+    // lint: hot-path (same discipline as run, writing into a reused schedule)
     fn run_into(
         &self,
         scratch: &mut RunScratch,

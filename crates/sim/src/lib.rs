@@ -31,7 +31,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod report;
 mod simulator;

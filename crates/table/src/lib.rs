@@ -22,11 +22,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod analysis;
 mod dispatch;
 mod error;
+mod race_hooks;
 mod table;
 mod txn;
 

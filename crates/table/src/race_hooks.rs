@@ -1,0 +1,183 @@
+//! Instrumentation shims for the `race-check` interleaving explorer.
+//!
+//! With the `race-check` feature on, these forward table accesses to
+//! `fj::race` — logical cell/row/column-structure reads and writes for the
+//! vector-clock happens-before detector, plus the yield points that give the
+//! virtual scheduler its interleaving granularity. Every entry point first
+//! checks [`fj::race::on_vthread`], so instrumented code running outside an
+//! exploration (including the normal test suite with the feature enabled)
+//! pays one thread-local read and nothing else.
+//!
+//! With the feature off every function is an empty `#[inline(always)]` stub:
+//! the instrumentation compiles to nothing on the hot path, which is what
+//! keeps the gated benches inside their bench_guard envelope.
+//!
+//! Cell identity is hashed: a table cell is `(hash(job), hash(column))`, a
+//! row is `hash(job)`, and the column *structure* (the cube → key mapping
+//! that `has_column`/`column_key`/`column_bound` read and column creation
+//! writes) is a single cell of its own namespace.
+
+#[cfg(feature = "race-check")]
+mod imp {
+    use std::hash::{Hash, Hasher};
+
+    use cpg::{Cube, FrontierHasher};
+    use cpg_path_sched::Job;
+    use fj::race::{self, CellId, YieldKind};
+
+    const KIND_CELL: u32 = 0;
+    const KIND_ROW: u32 = 1;
+    const KIND_COLUMNS: u32 = 2;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut hasher = FrontierHasher::new();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    fn cell(job: Job, column: &Cube) -> CellId {
+        CellId {
+            kind: KIND_CELL,
+            a: hash_of(&job),
+            b: hash_of(column),
+        }
+    }
+
+    fn row(job: Job) -> CellId {
+        CellId {
+            kind: KIND_ROW,
+            a: hash_of(&job),
+            b: 0,
+        }
+    }
+
+    fn columns() -> CellId {
+        CellId {
+            kind: KIND_COLUMNS,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    pub(crate) fn read_cell(job: Job, column: &Cube, label: &'static str) {
+        if !race::on_vthread() {
+            return;
+        }
+        race::read_cell(cell(job, column), label);
+    }
+
+    pub(crate) fn read_row(job: Job, label: &'static str) {
+        if !race::on_vthread() {
+            return;
+        }
+        race::read_cell(row(job), label);
+    }
+
+    pub(crate) fn read_columns(label: &'static str) {
+        if !race::on_vthread() {
+            return;
+        }
+        race::read_cell(columns(), label);
+    }
+
+    /// A shared-table cell write is also a write of its row: row scans
+    /// record row-level reads, and they must conflict with any unordered
+    /// cell write inside the scanned row.
+    pub(crate) fn write_cell(job: Job, column: &Cube, label: &'static str) {
+        if !race::on_vthread() {
+            return;
+        }
+        race::write_cell(cell(job, column), label);
+        race::write_cell(row(job), label);
+    }
+
+    pub(crate) fn write_columns(label: &'static str) {
+        if !race::on_vthread() {
+            return;
+        }
+        race::write_cell(columns(), label);
+    }
+
+    pub(crate) fn yield_spec_write() {
+        race::yield_point(YieldKind::SpecWrite);
+    }
+
+    pub(crate) fn yield_validate() {
+        race::yield_point(YieldKind::Validate);
+    }
+
+    pub(crate) fn yield_commit() {
+        race::yield_point(YieldKind::Commit);
+    }
+
+    /// Report a log committed over a view it no longer validates against —
+    /// the commit-protocol invariant ("back commits only after validation")
+    /// that vector clocks alone cannot see, because commits are always
+    /// join-ordered.
+    pub(crate) fn stale_commit(site: &'static str) {
+        if !race::on_vthread() {
+            return;
+        }
+        race::report_protocol(format!(
+            "{site}: transaction log committed into a view it does not validate against \
+             (stale speculation committed without validation)"
+        ));
+    }
+
+    /// `true` while the calling thread participates in an exploration —
+    /// gates work (like the commit-time re-validation) that is too expensive
+    /// for a mere stub call.
+    pub(crate) fn active() -> bool {
+        race::on_vthread()
+    }
+}
+
+#[cfg(feature = "race-check")]
+pub(crate) use imp::{
+    active, read_cell, read_columns, read_row, stale_commit, write_cell, write_columns,
+    yield_commit, yield_spec_write, yield_validate,
+};
+
+#[cfg(not(feature = "race-check"))]
+mod stubs {
+    use cpg::Cube;
+    use cpg_path_sched::Job;
+
+    #[inline(always)]
+    pub(crate) fn read_cell(_job: Job, _column: &Cube, _label: &'static str) {}
+
+    #[inline(always)]
+    pub(crate) fn read_row(_job: Job, _label: &'static str) {}
+
+    #[inline(always)]
+    pub(crate) fn read_columns(_label: &'static str) {}
+
+    #[inline(always)]
+    pub(crate) fn write_cell(_job: Job, _column: &Cube, _label: &'static str) {}
+
+    #[inline(always)]
+    pub(crate) fn write_columns(_label: &'static str) {}
+
+    #[inline(always)]
+    pub(crate) fn yield_spec_write() {}
+
+    #[inline(always)]
+    pub(crate) fn yield_validate() {}
+
+    #[inline(always)]
+    pub(crate) fn yield_commit() {}
+
+    #[inline(always)]
+    pub(crate) fn stale_commit(_site: &'static str) {}
+
+    #[inline(always)]
+    pub(crate) fn active() -> bool {
+        false
+    }
+}
+
+#[cfg(not(feature = "race-check"))]
+pub(crate) use stubs::{
+    active, read_cell, read_columns, read_row, stale_commit, write_cell, write_columns,
+    yield_commit, yield_spec_write, yield_validate,
+};

@@ -56,7 +56,25 @@ use cpg::{Cube, FrontierHasher};
 use cpg_arch::{PeId, Time};
 use cpg_path_sched::Job;
 
+use crate::race_hooks;
 use crate::ScheduleTable;
+
+/// Race-check commit boundary: a schedulable yield at the commit, plus the
+/// protocol check the vector clocks cannot express — a log being committed
+/// must still validate against the view it is committed into (commits are
+/// always join-ordered, so a "back committed without validation" bug is
+/// invisible to happens-before alone). Compiles to nothing without the
+/// `race-check` feature and costs one thread-local read outside an active
+/// exploration.
+fn commit_hook<V: TableView + ?Sized>(view: &V, log: &TxnLog, site: &'static str) {
+    if !race_hooks::active() {
+        return;
+    }
+    race_hooks::yield_commit();
+    if !log.holds_against(view) {
+        race_hooks::stale_commit(site);
+    }
+}
 
 /// Order-sensitive FNV-1a fingerprint of the keyed entry list of one row.
 ///
@@ -141,6 +159,7 @@ pub trait TableView {
     /// writes), so both the cold walk and an incremental re-merge replaying
     /// cached logs take the fast path on the real table.
     fn splice_log(&mut self, log: &TxnLog) {
+        commit_hook(self, log, "TableView::splice_log");
         for write in &log.writes {
             self.set_on(write.job, write.column, write.time, write.resource);
         }
@@ -155,11 +174,13 @@ pub trait TableView {
 impl TableView for ScheduleTable {
     #[inline]
     fn get(&self, job: Job, column: &Cube) -> Option<Time> {
+        race_hooks::read_cell(job, column, "ScheduleTable::get");
         ScheduleTable::get(self, job, column)
     }
 
     #[inline]
     fn resource(&self, job: Job, column: &Cube) -> Option<PeId> {
+        race_hooks::read_cell(job, column, "ScheduleTable::resource");
         ScheduleTable::resource(self, job, column)
     }
 
@@ -171,6 +192,12 @@ impl TableView for ScheduleTable {
         time: Time,
         resource: Option<PeId>,
     ) -> Option<Time> {
+        if race_hooks::active() {
+            if self.column_position(&column).is_none() {
+                race_hooks::write_columns("ScheduleTable::set_on");
+            }
+            race_hooks::write_cell(job, &column, "ScheduleTable::set_on");
+        }
         ScheduleTable::set_on(self, job, column, time, resource)
     }
 
@@ -180,31 +207,52 @@ impl TableView for ScheduleTable {
         job: Job,
         visit: &mut dyn FnMut(u64, Cube, Time, Option<PeId>),
     ) {
+        race_hooks::read_row(job, "ScheduleTable::for_each_keyed_entry_on");
         self.visit_keyed_entries(job, visit);
     }
 
     #[inline]
     fn row_version(&self, job: Job) -> u64 {
+        race_hooks::read_row(job, "ScheduleTable::row_version");
         ScheduleTable::row_version(self, job)
     }
 
     #[inline]
     fn has_column(&self, column: &Cube) -> bool {
+        race_hooks::read_columns("ScheduleTable::has_column");
         self.column_position(column).is_some()
     }
 
     #[inline]
     fn column_key(&self, column: &Cube) -> Option<u64> {
+        race_hooks::read_columns("ScheduleTable::column_key");
         self.column_position(column).map(|index| index as u64)
     }
 
     #[inline]
     fn column_bound(&self) -> u64 {
+        race_hooks::read_columns("ScheduleTable::column_bound");
         self.num_columns() as u64
     }
 
     #[inline]
     fn splice_log(&mut self, log: &TxnLog) {
+        commit_hook(self, log, "ScheduleTable::splice_log");
+        if race_hooks::active() {
+            // splice_writes bypasses set_on, so the detector's write records
+            // are produced here: one column-structure write when any fresh
+            // column is grafted, and a cell write per log entry.
+            if log
+                .new_columns
+                .iter()
+                .any(|column| self.column_position(column).is_none())
+            {
+                race_hooks::write_columns("ScheduleTable::splice_log");
+            }
+            for write in &log.writes {
+                race_hooks::write_cell(write.job, &write.column, "ScheduleTable::splice_log");
+            }
+        }
         self.splice_writes(&log.writes);
     }
 }
@@ -404,6 +452,7 @@ impl<'b> TableTxn<'b> {
 }
 
 impl TableView for TableTxn<'_> {
+    #[inline]
     fn get(&self, job: Job, column: &Cube) -> Option<Time> {
         match self.overlay(job) {
             // Overlay rows need no recording: the base row was fingerprinted
@@ -425,6 +474,7 @@ impl TableView for TableTxn<'_> {
         }
     }
 
+    #[inline]
     fn resource(&self, job: Job, column: &Cube) -> Option<PeId> {
         match self.overlay(job) {
             Some(row) => {
@@ -444,6 +494,7 @@ impl TableView for TableTxn<'_> {
         }
     }
 
+    #[inline]
     fn set_on(
         &mut self,
         job: Job,
@@ -451,6 +502,10 @@ impl TableView for TableTxn<'_> {
         time: Time,
         resource: Option<PeId>,
     ) -> Option<Time> {
+        // The speculative overlay write is a scheduling point: it is where
+        // an explored interleaving can squeeze sibling work between a
+        // branch's read of the base and its buffered write.
+        race_hooks::yield_spec_write();
         let key = self.key_or_insert(column);
         let at = match self.rows.binary_search_by_key(&job, |row| row.job) {
             Ok(at) => at,
@@ -506,6 +561,7 @@ impl TableView for TableTxn<'_> {
         }
     }
 
+    #[inline]
     fn for_each_keyed_entry_on(
         &self,
         job: Job,
@@ -537,6 +593,7 @@ impl TableView for TableTxn<'_> {
         }
     }
 
+    #[inline]
     fn row_version(&self, job: Job) -> u64 {
         // Version numbers leak write history, not content; treat the call as
         // a full row dependency so validation stays conservative here.
@@ -544,14 +601,17 @@ impl TableView for TableTxn<'_> {
         self.base.row_version(job) + self.overlay(job).map_or(0, |row| row.written)
     }
 
+    #[inline]
     fn has_column(&self, column: &Cube) -> bool {
         self.base.has_column(column) || self.new_columns.contains(column)
     }
 
+    #[inline]
     fn column_key(&self, column: &Cube) -> Option<u64> {
         self.key_of(column)
     }
 
+    #[inline]
     fn column_bound(&self) -> u64 {
         self.base_bound + self.new_columns.len() as u64
     }
@@ -595,6 +655,14 @@ impl TxnLog {
     /// assumed).
     #[must_use]
     pub fn validate<V: TableView + ?Sized>(&self, base: &V) -> bool {
+        race_hooks::yield_validate();
+        self.holds_against(base)
+    }
+
+    /// The validation predicate itself, shared between [`TxnLog::validate`]
+    /// (which adds the race-check scheduling point) and the commit hook's
+    /// re-validation (which must not yield again mid-commit).
+    fn holds_against<V: TableView + ?Sized>(&self, base: &V) -> bool {
         self.reads
             .time_probes
             .iter()
@@ -621,6 +689,7 @@ impl TxnLog {
     /// unconditionally (its snapshot was the serial state), a back-branch
     /// log only after [`TxnLog::validate`].
     pub fn commit_into<V: TableView + ?Sized>(&self, base: &mut V) {
+        commit_hook(base, self, "TxnLog::commit_into");
         for write in &self.writes {
             base.set_on(write.job, write.column, write.time, write.resource);
         }
@@ -752,7 +821,7 @@ mod tests {
         txn.set_on(p(1), cube_f(1), Time::new(3), None);
         let mut overlay_order = Vec::new();
         txn.for_each_entry_on(p(1), &mut |column, time, _| {
-            overlay_order.push((column, time))
+            overlay_order.push((column, time));
         });
         let log = txn.into_log();
         log.commit_into(&mut table);

@@ -53,7 +53,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 /// Target architecture model (re-export of `cpg-arch`).
 pub mod arch {

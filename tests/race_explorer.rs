@@ -1,0 +1,452 @@
+//! Deterministic interleaving exploration of the speculative merge walk.
+//!
+//! Compiled only with the `race-check` feature (`cargo test --features
+//! race-check --test race_explorer`): `fj::race::explore` replaces real
+//! thread spawning with a virtual scheduler, enumerating or sampling the
+//! interleavings of the forked walk at its yield points (fork, work-queue
+//! pop, speculative write, validate, commit) while vector clocks check every
+//! instrumented table access for happens-before ordering and the commit
+//! hooks check the "back commits only after validation" protocol.
+//!
+//! The suite proves three things:
+//!
+//! 1. **No violation on the current tree** — exhaustive enumeration of every
+//!    2- and 3-worker-fork interleaving on small crafted systems (the
+//!    schedule counts are printed), plus seeded random walks on the PR 6
+//!    validation-failure system, all clean and all bit-identical to the
+//!    serial walk.
+//! 2. **The detector is not vacuous** — re-introducing the known
+//!    commit-order bug (committing the back-branch log without validation,
+//!    `cpg_merge::sabotage`) is flagged as a stale-commit protocol
+//!    violation, and the offending schedule replays deterministically from
+//!    the recorded choice trace and from its printed seed.
+//! 3. **Found schedules stay found** — the banked corpus under
+//!    `tests/corpus/race_schedules/` replays known bug-exposing schedules
+//!    against the sabotaged walk and asserts each is still detected.
+//!
+//! Every test takes one shared lock: the sabotage switch is process-global,
+//! so a mutation test running concurrently with a cleanliness test would
+//! poison the latter's expectations.
+
+#![cfg(feature = "race-check")]
+
+use std::sync::Mutex;
+
+use cpg_merge::sabotage;
+use cps::prelude::*;
+use fj::race::{self, ExploreConfig, Mode, Report, Violation};
+
+/// Serializes the explorer tests: `sabotage` is process-global state, and a
+/// clean-tree assertion must never overlap a test that engages it.
+static EXPLORER_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    EXPLORER_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The smallest system whose merge forks: one condition, two tracks, one
+/// speculative fork at the root of the decision tree. Small enough that the
+/// full interleaving space of a 2-worker fork stays exhaustively enumerable.
+fn diamond_system() -> (Architecture, Cpg) {
+    let arch = Architecture::builder()
+        .processor("cpu0")
+        .processor("cpu1")
+        .bus("bus")
+        .build()
+        .unwrap();
+    let cpu0 = arch.pe_by_name("cpu0").unwrap();
+    let cpu1 = arch.pe_by_name("cpu1").unwrap();
+    let mut b = CpgBuilder::new();
+    let c = b.condition("C");
+    let root = b.process("root", Time::new(4), cpu0);
+    let a_t = b.process("a_t", Time::new(3), cpu1);
+    let a_f = b.process("a_f", Time::new(5), cpu1);
+    let sink = b.process("sink", Time::new(2), cpu1);
+    b.conditional_edge(root, a_t, c.is_true(), Time::ZERO);
+    b.conditional_edge(root, a_f, c.is_false(), Time::ZERO);
+    b.simple_edge(a_t, sink, Time::ZERO);
+    b.simple_edge(a_f, sink, Time::ZERO);
+    b.mark_conjunction(sink);
+    let cpg = b.build(&arch).unwrap();
+    (arch, cpg)
+}
+
+/// The PR 6 crafted system whose sibling subtrees deterministically write
+/// overlapping rows, forcing the back speculation's validation to fail at
+/// every forked node — the system that exercises the discard-and-re-run
+/// path, and (under sabotage) the one where skipping validation commits a
+/// genuinely stale log. Copied from `tests/merge_walk_differential.rs`.
+fn overlapping_rows_system() -> (Architecture, Cpg) {
+    let arch = Architecture::builder()
+        .processor("cpu0")
+        .processor("cpu1")
+        .bus("bus")
+        .build()
+        .unwrap();
+    let cpu0 = arch.pe_by_name("cpu0").unwrap();
+    let cpu1 = arch.pe_by_name("cpu1").unwrap();
+    let mut b = CpgBuilder::new();
+    let c1 = b.condition("C1");
+    let c2 = b.condition("C2");
+    let root = b.process("root", Time::new(4), cpu0);
+    let mid = b.process("mid", Time::new(4), cpu0);
+    let a_t = b.process("a_t", Time::new(3), cpu1);
+    let a_f = b.process("a_f", Time::new(6), cpu1);
+    let b_t = b.process("b_t", Time::new(2), cpu1);
+    let b_f = b.process("b_f", Time::new(5), cpu1);
+    let sink = b.process("sink", Time::new(2), cpu1);
+    b.conditional_edge(root, a_t, c1.is_true(), Time::ZERO);
+    b.conditional_edge(root, a_f, c1.is_false(), Time::ZERO);
+    b.simple_edge(root, mid, Time::ZERO);
+    b.conditional_edge(mid, b_t, c2.is_true(), Time::ZERO);
+    b.conditional_edge(mid, b_f, c2.is_false(), Time::ZERO);
+    b.simple_edge(a_t, sink, Time::ZERO);
+    b.simple_edge(a_f, sink, Time::ZERO);
+    b.simple_edge(b_t, sink, Time::ZERO);
+    b.simple_edge(b_f, sink, Time::ZERO);
+    b.mark_conjunction(sink);
+    let cpg = b.build(&arch).unwrap();
+    (arch, cpg)
+}
+
+fn merge_at(cpg: &Cpg, arch: &Architecture, threads: usize) -> MergeResult {
+    generate_schedule_table(
+        cpg,
+        arch,
+        &MergeConfig::new(Time::new(1))
+            .with_trace(true)
+            .with_threads(threads),
+    )
+}
+
+/// Panic-based field-wise equality (`MergeResult` has no `PartialEq`; the
+/// pieces give usable failure messages).
+fn assert_identical(reference: &MergeResult, explored: &MergeResult, context: &str) {
+    assert!(
+        reference.table() == explored.table(),
+        "table diverged ({context})"
+    );
+    assert_eq!(reference.tracks(), explored.tracks(), "{context}");
+    assert!(
+        reference.path_schedules() == explored.path_schedules(),
+        "path schedules diverged ({context})"
+    );
+    assert_eq!(reference.delta_m(), explored.delta_m(), "{context}");
+    assert_eq!(reference.delta_max(), explored.delta_max(), "{context}");
+    assert_eq!(reference.steps(), explored.steps(), "{context}");
+    assert_eq!(reference.stats(), explored.stats(), "{context}");
+}
+
+/// Explores every interleaving of the merge at `threads` workers, asserting
+/// each schedule reproduces the serial result bit-identically, and returns
+/// the report.
+fn explore_merge(cpg: &Cpg, arch: &Architecture, threads: usize, config: &ExploreConfig) -> Report {
+    let reference = merge_at(cpg, arch, 1);
+    race::explore(config, || {
+        let explored = merge_at(cpg, arch, threads);
+        assert_identical(&reference, &explored, &format!("{threads} workers"));
+    })
+}
+
+#[test]
+fn two_worker_fork_interleavings_are_exhausted_and_clean() {
+    let _lock = lock();
+    let (arch, cpg) = diamond_system();
+    let report = explore_merge(&cpg, &arch, 2, &ExploreConfig::exhaustive(200_000));
+    println!(
+        "diamond @ 2 workers: {} schedules ({} max choice points), exhausted = {}",
+        report.schedules, report.max_choice_points, report.exhausted
+    );
+    assert!(
+        report.exhausted,
+        "2-worker fork space must be fully enumerated within the cap, ran {}",
+        report.schedules
+    );
+    assert!(
+        report.schedules >= 2,
+        "a forked walk has more than one interleaving"
+    );
+    assert!(
+        report.clean(),
+        "current tree must be race-free: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn three_worker_fork_interleavings_are_exhausted_and_clean() {
+    let _lock = lock();
+    let (arch, cpg) = diamond_system();
+    let report = explore_merge(&cpg, &arch, 3, &ExploreConfig::exhaustive(200_000));
+    println!(
+        "diamond @ 3 workers: {} schedules ({} max choice points), exhausted = {}",
+        report.schedules, report.max_choice_points, report.exhausted
+    );
+    assert!(report.exhausted);
+    assert!(
+        report.clean(),
+        "current tree must be race-free: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn random_walks_on_the_validation_failure_system_are_clean() {
+    let _lock = lock();
+    let (arch, cpg) = overlapping_rows_system();
+    // The nested-fork space of this system is too large to exhaust; seeded
+    // random walks sample it at both fork budgets. Every schedule still
+    // checks bit-identity against the serial walk.
+    for threads in [2usize, 3] {
+        let report = explore_merge(
+            &cpg,
+            &arch,
+            threads,
+            &ExploreConfig::random(0xE1E5_1998, 24),
+        );
+        println!(
+            "overlapping rows @ {threads} workers: {} random schedules ({} max choice points)",
+            report.schedules, report.max_choice_points
+        );
+        assert_eq!(report.schedules, 24);
+        assert!(
+            report.clean(),
+            "current tree must be race-free at {threads} workers: {:?}",
+            report.violations
+        );
+    }
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let _lock = lock();
+    let (arch, cpg) = diamond_system();
+    let first = explore_merge(&cpg, &arch, 2, &ExploreConfig::exhaustive(200_000));
+    let second = explore_merge(&cpg, &arch, 2, &ExploreConfig::exhaustive(200_000));
+    assert_eq!(first.schedules, second.schedules);
+    assert_eq!(first.exhausted, second.exhausted);
+    assert_eq!(first.max_choice_points, second.max_choice_points);
+}
+
+fn is_stale_commit(violation: &Violation) -> bool {
+    matches!(violation, Violation::Protocol { detail, .. } if detail.contains("validate"))
+}
+
+#[test]
+fn seeded_commit_order_mutation_is_detected_and_replays() {
+    let _lock = lock();
+    let (arch, cpg) = overlapping_rows_system();
+    let saboteur = sabotage::SkipBackValidation::engage();
+
+    // The sabotaged walk commits a genuinely stale back log on this system
+    // (its back speculations always fail validation), so the very first
+    // schedules already trip the commit hook's protocol check.
+    let seed = 0x1998_0223;
+    let report = race::explore(&ExploreConfig::random(seed, 8), || {
+        // No bit-identity assertion: the whole point is that the
+        // mutated protocol corrupts the merge.
+        let _ = merge_at(&cpg, &arch, 2);
+    });
+    assert!(
+        !report.clean(),
+        "the detector must flag the skipped back validation"
+    );
+    assert!(
+        report.violations.iter().any(is_stale_commit),
+        "expected a stale-commit protocol violation, got {:?}",
+        report.violations
+    );
+    let trace = report
+        .failing_trace
+        .clone()
+        .expect("failing schedule recorded");
+    let failing_seed = report.failing_seed.expect("failing seed recorded");
+    println!(
+        "mutation detected: base seed {seed:#x}, failing schedule seed {failing_seed:#x}, \
+         choice trace {trace:?}"
+    );
+
+    // Reproduce from the recorded choice trace...
+    let replayed = race::explore(&ExploreConfig::replay(trace), || {
+        let _ = merge_at(&cpg, &arch, 2);
+    });
+    assert!(
+        replayed.violations.iter().any(is_stale_commit),
+        "the recorded choice trace must reproduce the finding: {:?}",
+        replayed.violations
+    );
+
+    // ...and from the printed per-schedule seed alone.
+    let reseeded = race::explore(
+        &ExploreConfig {
+            mode: Mode::Random {
+                seed: failing_seed,
+                schedules: 1,
+            },
+            max_schedules: 1,
+        },
+        || {
+            let _ = merge_at(&cpg, &arch, 2);
+        },
+    );
+    assert!(
+        reseeded.violations.iter().any(is_stale_commit),
+        "the printed seed must reproduce the finding: {:?}",
+        reseeded.violations
+    );
+
+    // Correct protocol restored: the same schedules come back clean.
+    drop(saboteur);
+    let clean = race::explore(&ExploreConfig::random(seed, 8), || {
+        let _ = merge_at(&cpg, &arch, 2);
+    });
+    assert!(
+        clean.clean(),
+        "with validation restored the same walks are clean: {:?}",
+        clean.violations
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Banked regression corpus.
+// ---------------------------------------------------------------------------
+
+struct CorpusEntry {
+    name: String,
+    system: String,
+    threads: usize,
+    choices: Vec<u8>,
+}
+
+fn load_corpus() -> Vec<CorpusEntry> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/race_schedules");
+    let mut entries = Vec::new();
+    let mut names: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus directory exists")
+        .map(|entry| entry.expect("corpus entry readable").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "txt"))
+        .collect();
+    names.sort();
+    for path in names {
+        let text = std::fs::read_to_string(&path).expect("corpus file readable");
+        let mut system = None;
+        let mut threads = None;
+        let mut choices = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(':')
+                .unwrap_or_else(|| panic!("malformed corpus line in {}: {line}", path.display()));
+            match key.trim() {
+                "system" => system = Some(value.trim().to_string()),
+                "threads" => threads = Some(value.trim().parse().expect("thread count")),
+                "choices" => {
+                    choices = Some(
+                        value
+                            .split_whitespace()
+                            .map(|choice| choice.parse().expect("choice index"))
+                            .collect(),
+                    );
+                }
+                other => panic!("unknown corpus key {other:?} in {}", path.display()),
+            }
+        }
+        entries.push(CorpusEntry {
+            name: path
+                .file_stem()
+                .and_then(|stem| stem.to_str())
+                .unwrap_or("?")
+                .to_string(),
+            system: system.expect("corpus file names a system"),
+            threads: threads.expect("corpus file names a thread count"),
+            choices: choices.expect("corpus file records a choice trace"),
+        });
+    }
+    assert!(!entries.is_empty(), "the banked corpus must not be empty");
+    entries
+}
+
+/// Regenerates the banked corpus: explores the sabotaged walk and prints
+/// each failing schedule in the corpus file format. Run with
+/// `cargo test --features race-check --test race_explorer -- --ignored
+/// --nocapture regenerate_corpus` and paste the output into new files under
+/// `tests/corpus/race_schedules/`.
+#[test]
+#[ignore = "corpus regeneration helper, not a check"]
+fn regenerate_corpus() {
+    let _lock = lock();
+    let configs = [
+        ("diamond", 2usize, 0x0001u64),
+        ("diamond", 3, 0x0002),
+        ("overlapping_rows", 2, 0x0003),
+        ("overlapping_rows", 3, 0x0004),
+    ];
+    for (system, threads, seed) in configs {
+        let (arch, cpg) = match system {
+            "diamond" => diamond_system(),
+            _ => overlapping_rows_system(),
+        };
+        let saboteur = sabotage::SkipBackValidation::engage();
+        let report = race::explore(&ExploreConfig::random(seed, 16), || {
+            let _ = merge_at(&cpg, &arch, threads);
+        });
+        drop(saboteur);
+        let Some(trace) = report.failing_trace else {
+            println!("# {system} @ {threads}: no failing schedule in 16 walks");
+            continue;
+        };
+        let choices: Vec<String> = trace.iter().map(u8::to_string).collect();
+        println!("# --- {system}_{threads}w.txt ---");
+        println!("# Schedule exposing the skipped-back-validation mutation");
+        println!("# (found by seeded random walk, base seed {seed:#x}).");
+        println!("system: {system}");
+        println!("threads: {threads}");
+        println!("choices: {}", choices.join(" "));
+    }
+}
+
+#[test]
+fn banked_racy_schedules_are_still_detected() {
+    let _lock = lock();
+    for entry in load_corpus() {
+        let (arch, cpg) = match entry.system.as_str() {
+            "diamond" => diamond_system(),
+            "overlapping_rows" => overlapping_rows_system(),
+            other => panic!("corpus entry {} names unknown system {other:?}", entry.name),
+        };
+        // Each banked schedule historically exposed the skipped-validation
+        // mutation; replaying it under the sabotaged walk must keep finding
+        // the stale commit.
+        let saboteur = sabotage::SkipBackValidation::engage();
+        let threads = entry.threads;
+        let report = race::explore(&ExploreConfig::replay(entry.choices.clone()), || {
+            let _ = merge_at(&cpg, &arch, threads);
+        });
+        drop(saboteur);
+        assert!(
+            report.violations.iter().any(is_stale_commit),
+            "corpus schedule {} no longer detects the stale commit: {:?}",
+            entry.name,
+            report.violations
+        );
+
+        // And the same schedule on the correct protocol is clean — the
+        // corpus pins detector sensitivity, not a real bug in the tree.
+        let reference = merge_at(&cpg, &arch, 1);
+        let clean = race::explore(&ExploreConfig::replay(entry.choices), || {
+            let explored = merge_at(&cpg, &arch, threads);
+            assert_identical(&reference, &explored, &entry.name);
+        });
+        assert!(
+            clean.clean(),
+            "corpus schedule {} flags the unmutated tree: {:?}",
+            entry.name,
+            clean.violations
+        );
+    }
+}

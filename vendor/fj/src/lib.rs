@@ -65,6 +65,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "race-check")]
+pub mod race;
+
 use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -119,6 +122,13 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &T) -> R + Sync,
 {
+    // Under an active race exploration the fan-out collapses onto the
+    // calling vthread: same serial order, but with a schedulable yield per
+    // work-queue pop so other vthreads can interleave between items.
+    #[cfg(feature = "race-check")]
+    if race::on_vthread() {
+        return serial_with_pop_yields(items, init, f);
+    }
     let threads = effective_threads(threads, items.len());
     if threads <= 1 {
         let mut state = init();
@@ -170,6 +180,13 @@ where
     F: Fn(&mut S, usize, &T) -> R + Sync,
     C: Fn(usize, &T) -> u64,
 {
+    // See map_with: a race exploration serializes the fan-out with yields.
+    // Input order, not LPT order — the cost order only affects wall-clock
+    // and the virtual scheduler owns the clock.
+    #[cfg(feature = "race-check")]
+    if race::on_vthread() {
+        return serial_with_pop_yields(items, init, f);
+    }
     let threads = effective_threads(threads, items.len());
     if threads <= 1 {
         let mut state = init();
@@ -266,6 +283,27 @@ where
         .collect()
 }
 
+/// The serial collapse of `map_with`/`map_with_cost` on a virtual thread:
+/// plain input order with one `Pop` yield point before each item, so a race
+/// exploration can interleave other vthreads between the simulated
+/// work-queue draws.
+#[cfg(feature = "race-check")]
+fn serial_with_pop_yields<T, S, R, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    I: Fn() -> S,
+    F: Fn(&mut S, usize, &T) -> R,
+{
+    let mut state = init();
+    items
+        .iter()
+        .enumerate()
+        .map(|(index, item)| {
+            race::yield_point(race::YieldKind::Pop);
+            f(&mut state, index, item)
+        })
+        .collect()
+}
+
 /// The worker count a call will actually fan out to: clamped to the item
 /// count, at least one, and forced to one inside an existing worker (the
 /// nested-pool policy).
@@ -302,6 +340,13 @@ where
         let ra = a(1);
         let rb = b(1);
         return (ra, rb);
+    }
+    // Under an active race exploration the fork becomes a *virtual* fork:
+    // `b` still gets its own OS thread, but the virtual scheduler decides
+    // every interleaving of the two sides at their yield points.
+    #[cfg(feature = "race-check")]
+    if race::on_vthread() {
+        return race::fork_join(budget, cost_a, cost_b, a, b);
     }
     let budget_b = split_budget(budget, cost_a, cost_b);
     let budget_a = budget - budget_b;

@@ -1,0 +1,1089 @@
+//! Deterministic interleaving exploration for the fork-join shim.
+//!
+//! With the `race-check` feature on, [`explore`] runs a closure under a
+//! *virtual scheduler*: every [`join_with_cost`](crate::join_with_cost) fork
+//! still spawns a real OS thread, but the threads take turns — exactly one
+//! "virtual thread" (vthread) holds the run token at any instant, and the
+//! token changes hands only at explicit *yield points* (fork, work-queue
+//! pop, `TxnLog::validate`, commit, speculative write). Each point where two
+//! or more vthreads are runnable is a *choice point*; the sequence of
+//! choices made at those points fully determines the schedule, so a run is
+//! reproducible from its recorded choice trace (or the seed that generated
+//! it) alone.
+//!
+//! The explorer drives the choice sequence three ways:
+//!
+//! * **Exhaustive** — depth-first enumeration over choice prefixes. After a
+//!   run finishes, the last choice that still has an untried alternative is
+//!   bumped and the schedule re-executes with that forced prefix; when no
+//!   choice can be bumped the space is exhausted. Exhaustive enumeration is
+//!   only tractable for small systems (a 2-worker fork has dozens of
+//!   schedules, not millions) — cap it with
+//!   [`ExploreConfig::max_schedules`].
+//! * **Random** — seeded random walks (splitmix64): each schedule resolves
+//!   every choice point from the stream of a per-schedule seed derived from
+//!   the base seed and the schedule index, so any individual schedule can be
+//!   replayed from `(seed, index)`.
+//! * **Replay** — a recorded choice trace (e.g. from a banked corpus file or
+//!   a previous report's [`Report::failing_trace`]) is forced verbatim.
+//!
+//! On top of the scheduler sits a **vector-clock happens-before detector**:
+//! instrumented call sites report logical reads and writes of named cells
+//! ([`read_cell`] / [`write_cell`]); fork and join edges maintain the
+//! clocks, and any pair of accesses to the same cell — at least one of them
+//! a write — that the clocks cannot order is reported as a [`Violation`]
+//! with both accesses' logical positions (vthread and per-vthread event
+//! index). Instrumented commit protocols can additionally report
+//! [`Violation::Protocol`] findings (e.g. a transaction log committed over a
+//! view it no longer validates against) via [`report_protocol`].
+//!
+//! Everything in this module is driven through thread-locals on the
+//! participating threads — there is no process-global session state, so
+//! concurrent tests in the same binary cannot observe each other's
+//! explorations (callers that share *other* process globals must still
+//! serialize themselves).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// How long a vthread waits for the run token before declaring the virtual
+/// schedule deadlocked. Generous: real schedules hand the token over in
+/// microseconds; only a bug in the instrumentation (or a panic on the token
+/// holder) leaves a waiter stranded.
+const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+std::thread_local! {
+    /// The virtual-thread identity of the current OS thread, when it is
+    /// participating in an exploration. `None` on every other thread, which
+    /// is what keeps the instrumentation hooks inert outside [`explore`].
+    static VTHREAD: RefCell<Option<VtCtx>> = const { RefCell::new(None) };
+}
+
+struct VtCtx {
+    session: Arc<Session>,
+    id: usize,
+}
+
+/// `true` when the calling thread is a virtual thread of an active
+/// exploration. The instrumentation hooks (and the fork/map interception in
+/// the parent crate) key off this.
+#[must_use]
+pub fn on_vthread() -> bool {
+    VTHREAD.with(|slot| slot.borrow().is_some())
+}
+
+fn with_ctx<R>(f: impl FnOnce(&Arc<Session>, usize) -> R) -> Option<R> {
+    VTHREAD.with(|slot| {
+        let borrow = slot.borrow();
+        borrow.as_ref().map(|ctx| f(&ctx.session, ctx.id))
+    })
+}
+
+/// The kind of yield point a vthread is parked at — recorded into event
+/// labels and useful when reading violation reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum YieldKind {
+    /// A `join_with_cost` fork just made a child vthread runnable.
+    Fork,
+    /// A work-queue pop inside `map_with`/`map_with_cost`.
+    Pop,
+    /// A speculative overlay write (`TableTxn::set_on`).
+    SpecWrite,
+    /// A `TxnLog::validate` boundary.
+    Validate,
+    /// A commit boundary (`commit_into` / `splice_log`).
+    Commit,
+}
+
+/// A logical memory location tracked by the happens-before detector. The
+/// instrumented crate chooses the encoding; the detector only compares keys
+/// for equality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CellId {
+    /// Namespace discriminant (e.g. 0 = table cell, 1 = row, 2 = column
+    /// structure).
+    pub kind: u32,
+    /// First coordinate (e.g. job id).
+    pub a: u64,
+    /// Second coordinate (e.g. column key), 0 when unused.
+    pub b: u64,
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell(kind={}, a={}, b={})", self.kind, self.a, self.b)
+    }
+}
+
+/// One recorded access for a violation report: which vthread, at which
+/// per-vthread event index, doing what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessInfo {
+    /// Virtual thread id (0 is the exploration root).
+    pub vthread: usize,
+    /// Per-vthread logical event index at the time of the access.
+    pub event: u64,
+    /// `true` for a write.
+    pub is_write: bool,
+    /// Call-site label supplied by the instrumentation.
+    pub label: &'static str,
+}
+
+impl fmt::Display for AccessInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} `{}` at vthread {} event {}",
+            if self.is_write { "write" } else { "read" },
+            self.label,
+            self.vthread,
+            self.event
+        )
+    }
+}
+
+/// A finding from one explored schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two accesses to the same cell, at least one a write, that the vector
+    /// clocks could not order.
+    Race {
+        /// The contended location.
+        cell: CellId,
+        /// The earlier recorded access.
+        first: AccessInfo,
+        /// The access that exposed the conflict.
+        second: AccessInfo,
+    },
+    /// An instrumented protocol invariant failed (see [`report_protocol`]).
+    Protocol {
+        /// Instrumentation-supplied description of the broken invariant.
+        detail: String,
+        /// The vthread that tripped the check.
+        vthread: usize,
+        /// That vthread's logical event index.
+        event: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Race {
+                cell,
+                first,
+                second,
+            } => write!(f, "data race on {cell}: {first} is unordered with {second}"),
+            Violation::Protocol {
+                detail,
+                vthread,
+                event,
+            } => write!(
+                f,
+                "protocol violation at vthread {vthread} event {event}: {detail}"
+            ),
+        }
+    }
+}
+
+/// How [`explore`] walks the schedule space.
+#[derive(Clone, Debug)]
+pub enum Mode {
+    /// Depth-first enumeration of every schedule (bounded by
+    /// [`ExploreConfig::max_schedules`]).
+    Exhaustive,
+    /// `schedules` seeded random walks. Schedule `i` draws its choices from
+    /// splitmix64 seeded with `mix(seed, i)`, so it replays from the pair.
+    Random {
+        /// Base seed; printed in reports for reproduction.
+        seed: u64,
+        /// Number of walks to run.
+        schedules: usize,
+    },
+    /// Force one recorded choice trace (out-of-range or exhausted entries
+    /// fall back to choice 0).
+    Replay(
+        /// The choice trace, one entry per choice point.
+        Vec<u8>,
+    ),
+}
+
+/// Configuration for [`explore`].
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Schedule-space walk strategy.
+    pub mode: Mode,
+    /// Hard cap on executed schedules (safety valve for exhaustive mode).
+    pub max_schedules: usize,
+}
+
+impl ExploreConfig {
+    /// Exhaustive enumeration capped at `max_schedules`.
+    #[must_use]
+    pub fn exhaustive(max_schedules: usize) -> Self {
+        ExploreConfig {
+            mode: Mode::Exhaustive,
+            max_schedules,
+        }
+    }
+
+    /// `schedules` random walks from `seed`.
+    #[must_use]
+    pub fn random(seed: u64, schedules: usize) -> Self {
+        ExploreConfig {
+            mode: Mode::Random { seed, schedules },
+            max_schedules: schedules,
+        }
+    }
+
+    /// Replay exactly one recorded choice trace.
+    #[must_use]
+    pub fn replay(choices: Vec<u8>) -> Self {
+        ExploreConfig {
+            mode: Mode::Replay(choices),
+            max_schedules: 1,
+        }
+    }
+}
+
+/// The outcome of an [`explore`] call.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// `true` when exhaustive mode enumerated the whole space within the
+    /// schedule cap (always `false` for the other modes... unless they ran
+    /// a space with no choice points at all, which is also exhaustive).
+    pub exhausted: bool,
+    /// Violations from the first schedule that produced any. Later
+    /// schedules keep running (to count the space) but do not accumulate.
+    pub violations: Vec<Violation>,
+    /// The choice trace of the first violating schedule — feed it back to
+    /// [`ExploreConfig::replay`] to reproduce the finding deterministically.
+    pub failing_trace: Option<Vec<u8>>,
+    /// For random mode: the per-schedule seed of the first violating
+    /// schedule, reproducible as `ExploreConfig::random(seed, 1)`.
+    pub failing_seed: Option<u64>,
+    /// The longest choice trace seen across all schedules.
+    pub max_choice_points: usize,
+}
+
+impl Report {
+    /// `true` when no schedule produced a violation.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The virtual scheduler.
+// ---------------------------------------------------------------------------
+
+struct VThread {
+    /// Lamport vector clock, indexed by vthread id.
+    clock: Vec<u64>,
+    /// Logical event counter (bumped at every yield/access), for reports.
+    events: u64,
+    /// Finished running its closure (token never returns to it).
+    finished: bool,
+    /// Parked in a join on this child (not schedulable until it finishes).
+    blocked_on: Option<usize>,
+}
+
+/// Per-cell access history for the happens-before detector. Each recorded
+/// access carries its clock stamp: `(info, thread, clock[thread] at access
+/// time)`. An access happened-before the current moment on thread `t` iff
+/// `t`'s clock entry for the access's thread has reached that stamp.
+#[derive(Default)]
+struct CellHistory {
+    last_write: Option<(AccessInfo, usize, u64)>,
+    /// Reads since the last write, at most one per vthread.
+    reads: Vec<(AccessInfo, usize, u64)>,
+}
+
+struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        SplitMix { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Derives the per-schedule seed for random mode — exposed to keep "replay
+/// schedule `i` of base seed `s`" a one-liner for callers.
+#[must_use]
+pub fn schedule_seed(base: u64, index: u64) -> u64 {
+    let mut mix = SplitMix::new(base ^ index.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    mix.next()
+}
+
+/// Drives the choices of one schedule execution.
+struct Controller {
+    /// Forced prefix (DFS backtracking or replay).
+    prefix: Vec<u8>,
+    /// Random source for choices past the prefix (`None` = always 0).
+    rng: Option<SplitMix>,
+    /// Recorded `(options, chosen)` for every choice point this run.
+    trace: Vec<(u8, u8)>,
+}
+
+impl Controller {
+    fn choose(&mut self, options: usize) -> usize {
+        debug_assert!(options >= 2);
+        let position = self.trace.len();
+        let chosen = if position < self.prefix.len() {
+            usize::from(self.prefix[position]).min(options - 1)
+        } else if let Some(rng) = &mut self.rng {
+            (rng.next() % options as u64) as usize
+        } else {
+            0
+        };
+        self.trace.push((options as u8, chosen as u8));
+        chosen
+    }
+
+    fn choices(&self) -> Vec<u8> {
+        self.trace.iter().map(|&(_, chosen)| chosen).collect()
+    }
+
+    /// DFS backtrack: bump the last choice with an untried alternative into
+    /// a new forced prefix. `None` when the space is exhausted.
+    fn next_prefix(&self) -> Option<Vec<u8>> {
+        for (position, &(options, chosen)) in self.trace.iter().enumerate().rev() {
+            if chosen + 1 < options {
+                let mut prefix: Vec<u8> = self.trace[..position].iter().map(|&(_, c)| c).collect();
+                prefix.push(chosen + 1);
+                return Some(prefix);
+            }
+        }
+        None
+    }
+}
+
+struct SessionState {
+    threads: Vec<VThread>,
+    /// The vthread currently holding the run token.
+    current: usize,
+    controller: Controller,
+    cells: HashMap<CellId, CellHistory>,
+    violations: Vec<Violation>,
+}
+
+struct Session {
+    state: Mutex<SessionState>,
+    token: Condvar,
+}
+
+impl Session {
+    fn new(controller: Controller) -> Self {
+        let root = VThread {
+            clock: vec![1],
+            events: 0,
+            finished: false,
+            blocked_on: None,
+        };
+        Session {
+            state: Mutex::new(SessionState {
+                threads: vec![root],
+                current: 0,
+                controller,
+                cells: HashMap::new(),
+                violations: Vec::new(),
+            }),
+            token: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SessionState> {
+        self.state.lock().expect("race session mutex poisoned")
+    }
+
+    /// Every vthread that could legally receive the token right now.
+    fn runnable(state: &SessionState) -> Vec<usize> {
+        state
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, thread)| {
+                if thread.finished {
+                    return false;
+                }
+                match thread.blocked_on {
+                    Some(child) => state.threads[child].finished,
+                    None => true,
+                }
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Pick the next token holder among the runnable vthreads (consulting
+    /// the controller only at genuine choice points) and wake it.
+    fn hand_over(&self, state: &mut SessionState) {
+        let runnable = Self::runnable(state);
+        assert!(
+            !runnable.is_empty(),
+            "virtual scheduler deadlock: no runnable vthread \
+             (an instrumented join is waiting on a child that never finishes)"
+        );
+        let next = if runnable.len() == 1 {
+            runnable[0]
+        } else {
+            runnable[state.controller.choose(runnable.len())]
+        };
+        state.current = next;
+        self.token.notify_all();
+    }
+
+    /// Park until this vthread holds the token again.
+    fn wait_for_token<'s>(
+        &'s self,
+        mut state: MutexGuard<'s, SessionState>,
+        me: usize,
+    ) -> MutexGuard<'s, SessionState> {
+        while state.current != me {
+            let (guard, timeout) = self
+                .token
+                .wait_timeout(state, DEADLOCK_TIMEOUT)
+                .expect("race session mutex poisoned");
+            state = guard;
+            assert!(
+                !(timeout.timed_out() && state.current != me),
+                "virtual scheduler deadlock: vthread {me} starved of the run \
+                 token for {DEADLOCK_TIMEOUT:?} (token holder likely panicked)"
+            );
+        }
+        state
+    }
+
+    /// A cooperative yield: offer the token to any runnable vthread (self
+    /// included) and park until it comes back.
+    fn yield_at(&self, me: usize, _kind: YieldKind) {
+        let mut state = self.lock();
+        state.threads[me].events += 1;
+        self.hand_over(&mut state);
+        drop(self.wait_for_token(state, me));
+    }
+
+    /// Register a child vthread forked by `parent`. Fork edge: the child
+    /// starts with a copy of the parent's clock plus its own new component;
+    /// the parent ticks its own component so later parent events are not
+    /// ordered before the child's.
+    fn register_child(&self, parent: usize) -> usize {
+        let mut state = self.lock();
+        let child = state.threads.len();
+        let mut clock = state.threads[parent].clock.clone();
+        clock.resize(child + 1, 0);
+        clock[child] = 1;
+        state.threads.push(VThread {
+            clock,
+            events: 0,
+            finished: false,
+            blocked_on: None,
+        });
+        let parent_thread = &mut state.threads[parent];
+        parent_thread.clock[parent] += 1;
+        child
+    }
+
+    /// Called on the child's OS thread: park until the scheduler hands it
+    /// the token for the first time. The child is schedulable from
+    /// [`Self::register_child`] on — if the scheduler picks it before the OS
+    /// thread physically arrives, everyone simply waits here for the
+    /// handoff, so the *logical* schedule never depends on spawn timing.
+    fn start_child(&self, child: usize) {
+        let state = self.lock();
+        drop(self.wait_for_token(state, child));
+    }
+
+    /// Called on the child's OS thread when its closure is done (or
+    /// unwinding): release the token. The join edge in [`Self::join_child`]
+    /// does the clock merge.
+    fn finish(&self, child: usize) {
+        let mut state = self.lock();
+        state.threads[child].finished = true;
+        state.threads[child].events += 1;
+        self.hand_over(&mut state);
+    }
+
+    /// Called on the parent: park until `child` finished (releasing the
+    /// token while parked), then merge the child's clock — the join edge.
+    fn join_child(&self, parent: usize, child: usize) {
+        let mut state = self.lock();
+        if !state.threads[child].finished {
+            state.threads[parent].blocked_on = Some(child);
+            self.hand_over(&mut state);
+            state = self.wait_for_token(state, parent);
+            state.threads[parent].blocked_on = None;
+        }
+        let child_clock = state.threads[child].clock.clone();
+        let parent_thread = &mut state.threads[parent];
+        if parent_thread.clock.len() < child_clock.len() {
+            parent_thread.clock.resize(child_clock.len(), 0);
+        }
+        for (mine, theirs) in parent_thread.clock.iter_mut().zip(child_clock) {
+            *mine = (*mine).max(theirs);
+        }
+        parent_thread.clock[parent] += 1;
+    }
+
+    /// `true` when `stamp` (an event on `thread`) happened-before the
+    /// current moment on `observer`.
+    fn ordered(state: &SessionState, observer: usize, thread: usize, stamp: u64) -> bool {
+        state.threads[observer]
+            .clock
+            .get(thread)
+            .copied()
+            .unwrap_or(0)
+            >= stamp
+    }
+
+    fn record_access(&self, me: usize, cell: CellId, is_write: bool, label: &'static str) {
+        let mut state = self.lock();
+        state.threads[me].events += 1;
+        let access = AccessInfo {
+            vthread: me,
+            event: state.threads[me].events,
+            is_write,
+            label,
+        };
+        let stamp = state.threads[me].clock[me];
+        // Check the existing history for unordered conflicts first, then
+        // fold the new access in.
+        let mut found: Vec<Violation> = Vec::new();
+        if let Some(history) = state.cells.get(&cell) {
+            let mut check = |first: &AccessInfo, thread: usize, first_stamp: u64| {
+                if thread != me && !Self::ordered(&state, me, thread, first_stamp) {
+                    found.push(Violation::Race {
+                        cell,
+                        first: first.clone(),
+                        second: access.clone(),
+                    });
+                }
+            };
+            if let Some((write, thread, write_stamp)) = &history.last_write {
+                check(write, *thread, *write_stamp);
+            }
+            if is_write {
+                for (read, thread, read_stamp) in &history.reads {
+                    check(read, *thread, *read_stamp);
+                }
+            }
+        }
+        let history = state.cells.entry(cell).or_default();
+        if is_write {
+            history.last_write = Some((access, me, stamp));
+            history.reads.clear();
+        } else {
+            history.reads.retain(|(_, thread, _)| *thread != me);
+            history.reads.push((access, me, stamp));
+        }
+        state.violations.append(&mut found);
+    }
+
+    fn record_protocol(&self, me: usize, detail: String) {
+        let mut state = self.lock();
+        state.threads[me].events += 1;
+        let event = state.threads[me].events;
+        state.violations.push(Violation::Protocol {
+            detail,
+            vthread: me,
+            event,
+        });
+    }
+}
+
+/// Clears the vthread identity of the current OS thread on drop, even when
+/// the body unwinds.
+struct CtxGuard;
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        VTHREAD.with(|slot| slot.borrow_mut().take());
+    }
+}
+
+fn install_ctx(session: Arc<Session>, id: usize) -> CtxGuard {
+    VTHREAD.with(|slot| {
+        let mut borrow = slot.borrow_mut();
+        assert!(
+            borrow.is_none(),
+            "nested race explorations on one thread are not supported"
+        );
+        *borrow = Some(VtCtx { session, id });
+    });
+    CtxGuard
+}
+
+/// Marks a child vthread finished on drop, so the scheduler releases its
+/// parent even when the child's closure panics.
+struct FinishGuard<'s> {
+    session: &'s Session,
+    id: usize,
+}
+
+impl Drop for FinishGuard<'_> {
+    fn drop(&mut self) {
+        self.session.finish(self.id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation hooks (called from the instrumented crates).
+// ---------------------------------------------------------------------------
+
+/// Cooperative yield: a no-op off a vthread; on a vthread, offers the run
+/// token to every runnable vthread and parks until it returns.
+pub fn yield_point(kind: YieldKind) {
+    with_ctx(|session, me| session.yield_at(me, kind));
+}
+
+/// Record a logical read of `cell` for happens-before checking. No-op off a
+/// vthread.
+pub fn read_cell(cell: CellId, label: &'static str) {
+    with_ctx(|session, me| session.record_access(me, cell, false, label));
+}
+
+/// Record a logical write of `cell` for happens-before checking. No-op off a
+/// vthread.
+pub fn write_cell(cell: CellId, label: &'static str) {
+    with_ctx(|session, me| session.record_access(me, cell, true, label));
+}
+
+/// Report a broken protocol invariant (e.g. a stale transaction log
+/// committed without validation). No-op off a vthread.
+pub fn report_protocol(detail: String) {
+    with_ctx(|session, me| session.record_protocol(me, detail));
+}
+
+/// The virtual counterpart of [`join_with_cost`](crate::join_with_cost):
+/// runs `b` on a child vthread under the scheduler, `a` on the caller, with
+/// the same budget split as the real fork. Only call on a vthread with
+/// `budget >= 2` (the parent crate's interception guarantees both).
+pub(crate) fn fork_join<RA, RB, A, B>(
+    budget: usize,
+    cost_a: u64,
+    cost_b: u64,
+    a: A,
+    b: B,
+) -> (RA, RB)
+where
+    RB: Send,
+    A: FnOnce(usize) -> RA,
+    B: FnOnce(usize) -> RB + Send,
+{
+    let budget_b = crate::split_budget(budget, cost_a, cost_b);
+    let budget_a = budget - budget_b;
+    let (session, parent) =
+        with_ctx(|session, id| (Arc::clone(session), id)).expect("fork_join called off a vthread");
+    let child = session.register_child(parent);
+    std::thread::scope(|scope| {
+        let child_session = Arc::clone(&session);
+        let handle = scope.spawn(move || {
+            let _ctx = install_ctx(Arc::clone(&child_session), child);
+            child_session.start_child(child);
+            let _finish = FinishGuard {
+                session: &child_session,
+                id: child,
+            };
+            b(budget_b)
+        });
+        // The child is registered but unscheduled; this yield is the fork
+        // choice point where it first competes for the token.
+        session.yield_at(parent, YieldKind::Fork);
+        let ra = a(budget_a);
+        session.join_child(parent, child);
+        let rb = handle
+            .join()
+            .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+        (ra, rb)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The explorer.
+// ---------------------------------------------------------------------------
+
+fn run_one(controller: Controller, body: &(impl Fn() + Sync)) -> (Controller, Vec<Violation>) {
+    let session = Arc::new(Session::new(controller));
+    {
+        let _ctx = install_ctx(Arc::clone(&session), 0);
+        body();
+    }
+    let session = Arc::try_unwrap(session)
+        .map_err(|_| ())
+        .expect("all vthreads have exited the session");
+    let state = session.state.into_inner().expect("session mutex poisoned");
+    (state.controller, state.violations)
+}
+
+/// Runs `body` repeatedly under the virtual scheduler, walking the schedule
+/// space as configured. The first violating schedule's findings (and its
+/// reproduction handle) are captured in the [`Report`]; later schedules
+/// still execute so the schedule count stays meaningful.
+///
+/// `body` must be deterministic given the schedule (no ambient randomness or
+/// real time) — that is what makes every reported schedule replayable.
+pub fn explore(config: &ExploreConfig, body: impl Fn() + Sync) -> Report {
+    let mut report = Report {
+        schedules: 0,
+        exhausted: false,
+        violations: Vec::new(),
+        failing_trace: None,
+        failing_seed: None,
+        max_choice_points: 0,
+    };
+    match &config.mode {
+        Mode::Exhaustive => {
+            let mut prefix: Vec<u8> = Vec::new();
+            loop {
+                if report.schedules >= config.max_schedules {
+                    break;
+                }
+                let controller = Controller {
+                    prefix,
+                    rng: None,
+                    trace: Vec::new(),
+                };
+                let (controller, violations) = run_one(controller, &body);
+                report.schedules += 1;
+                report.max_choice_points = report.max_choice_points.max(controller.trace.len());
+                if report.violations.is_empty() && !violations.is_empty() {
+                    report.failing_trace = Some(controller.choices());
+                    report.violations = violations;
+                }
+                match controller.next_prefix() {
+                    Some(next) => prefix = next,
+                    None => {
+                        report.exhausted = true;
+                        break;
+                    }
+                }
+            }
+        }
+        Mode::Random { seed, schedules } => {
+            for index in 0..(*schedules).min(config.max_schedules) {
+                let schedule_seed = schedule_seed(*seed, index as u64);
+                let controller = Controller {
+                    prefix: Vec::new(),
+                    rng: Some(SplitMix::new(schedule_seed)),
+                    trace: Vec::new(),
+                };
+                let (controller, violations) = run_one(controller, &body);
+                report.schedules += 1;
+                report.max_choice_points = report.max_choice_points.max(controller.trace.len());
+                if report.violations.is_empty() && !violations.is_empty() {
+                    report.failing_trace = Some(controller.choices());
+                    report.failing_seed = Some(schedule_seed);
+                    report.violations = violations;
+                }
+            }
+        }
+        Mode::Replay(choices) => {
+            let controller = Controller {
+                prefix: choices.clone(),
+                rng: None,
+                trace: Vec::new(),
+            };
+            let (controller, violations) = run_one(controller, &body);
+            report.schedules = 1;
+            report.max_choice_points = controller.trace.len();
+            if !violations.is_empty() {
+                report.failing_trace = Some(controller.choices());
+                report.violations = violations;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Two vthreads each doing one Pop yield: the schedule space is the
+    /// interleavings of their yield sequences.
+    #[test]
+    fn exhaustive_enumerates_a_two_thread_fork() {
+        let report = explore(&ExploreConfig::exhaustive(10_000), || {
+            crate::join_with_cost(
+                2,
+                1,
+                1,
+                |_| {
+                    yield_point(YieldKind::Pop);
+                    yield_point(YieldKind::Pop);
+                },
+                |_| {
+                    yield_point(YieldKind::Pop);
+                    yield_point(YieldKind::Pop);
+                },
+            );
+        });
+        assert!(report.exhausted, "space must be fully enumerated");
+        assert!(
+            report.schedules >= 2,
+            "a fork with yields has more than one schedule, got {}",
+            report.schedules
+        );
+        assert!(report.clean(), "no races reported: {:?}", report.violations);
+    }
+
+    #[test]
+    fn exhaustive_explores_both_fork_orders() {
+        // Record which side ran its first yield-free section first; over the
+        // whole space both orders must occur.
+        let orders = Mutex::new(std::collections::HashSet::new());
+        let report = explore(&ExploreConfig::exhaustive(10_000), || {
+            let log = Mutex::new(Vec::new());
+            crate::join_with_cost(
+                2,
+                1,
+                1,
+                |_| {
+                    yield_point(YieldKind::Pop);
+                    log.lock().unwrap().push('a');
+                },
+                |_| {
+                    yield_point(YieldKind::Pop);
+                    log.lock().unwrap().push('b');
+                },
+            );
+            let sequence: String = log.lock().unwrap().iter().collect();
+            orders.lock().unwrap().insert(sequence);
+        });
+        assert!(report.exhausted);
+        let orders = orders.into_inner().unwrap();
+        assert!(
+            orders.contains("ab") && orders.contains("ba"),
+            "both interleavings must be reachable, saw {orders:?}"
+        );
+    }
+
+    #[test]
+    fn unsynchronized_write_write_is_flagged() {
+        let cell = CellId {
+            kind: 0,
+            a: 7,
+            b: 9,
+        };
+        let report = explore(&ExploreConfig::exhaustive(1_000), || {
+            crate::join_with_cost(
+                2,
+                1,
+                1,
+                |_| write_cell(cell, "left"),
+                |_| write_cell(cell, "right"),
+            );
+        });
+        assert!(
+            !report.clean(),
+            "sibling writes to one cell are unordered and must be reported"
+        );
+        let trace = report.failing_trace.expect("failing trace recorded");
+        let replayed = explore(&ExploreConfig::replay(trace), || {
+            crate::join_with_cost(
+                2,
+                1,
+                1,
+                |_| write_cell(cell, "left"),
+                |_| write_cell(cell, "right"),
+            );
+        });
+        assert!(!replayed.clean(), "replayed schedule reproduces the race");
+    }
+
+    #[test]
+    fn fork_and_join_edges_order_parent_child_accesses() {
+        let cell = CellId {
+            kind: 0,
+            a: 1,
+            b: 2,
+        };
+        let report = explore(&ExploreConfig::exhaustive(1_000), || {
+            // Parent writes before the fork and after the join: both are
+            // ordered with the child's read by the fork/join edges.
+            write_cell(cell, "before-fork");
+            crate::join_with_cost(2, 1, 1, |_| (), |_| read_cell(cell, "child-read"));
+            write_cell(cell, "after-join");
+        });
+        assert!(report.exhausted);
+        assert!(
+            report.clean(),
+            "fork/join-ordered accesses are not races: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn sibling_read_and_write_race_is_flagged_and_parent_read_is_not() {
+        let cell = CellId {
+            kind: 1,
+            a: 3,
+            b: 0,
+        };
+        let racy = explore(&ExploreConfig::exhaustive(1_000), || {
+            crate::join_with_cost(
+                2,
+                1,
+                1,
+                |_| read_cell(cell, "sibling-read"),
+                |_| write_cell(cell, "sibling-write"),
+            );
+        });
+        assert!(!racy.clean(), "sibling read/write must be reported");
+
+        let ordered = explore(&ExploreConfig::exhaustive(1_000), || {
+            crate::join_with_cost(2, 1, 1, |_| (), |_| write_cell(cell, "child-write"));
+            read_cell(cell, "parent-read-after-join");
+        });
+        assert!(
+            ordered.clean(),
+            "join edge orders the child's write before the parent's read: {:?}",
+            ordered.violations
+        );
+    }
+
+    #[test]
+    fn random_mode_reproduces_from_its_seed() {
+        let cell = CellId {
+            kind: 0,
+            a: 0,
+            b: 0,
+        };
+        let body = || {
+            crate::join_with_cost(
+                2,
+                1,
+                1,
+                |_| write_cell(cell, "left"),
+                |_| write_cell(cell, "right"),
+            );
+        };
+        let report = explore(&ExploreConfig::random(0xDECAF, 8), body);
+        assert!(!report.clean());
+        let seed = report.failing_seed.expect("random mode records the seed");
+        let reproduced = explore(
+            &ExploreConfig {
+                mode: Mode::Random { seed, schedules: 1 },
+                max_schedules: 1,
+            },
+            body,
+        );
+        assert!(
+            !reproduced.clean(),
+            "the recorded per-schedule seed must reproduce the finding"
+        );
+    }
+
+    #[test]
+    fn nested_forks_schedule_three_vthreads() {
+        let seen = AtomicU64::new(0);
+        let report = explore(&ExploreConfig::exhaustive(100_000), || {
+            crate::join_with_cost(
+                3,
+                1,
+                2,
+                |_| {
+                    yield_point(YieldKind::Pop);
+                },
+                |budget| {
+                    crate::join_with_cost(
+                        budget,
+                        1,
+                        1,
+                        |_| yield_point(YieldKind::Pop),
+                        |_| yield_point(YieldKind::Pop),
+                    );
+                },
+            );
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(report.exhausted, "three-vthread space stays enumerable");
+        assert_eq!(seen.load(Ordering::Relaxed) as usize, report.schedules);
+        assert!(report.schedules >= 3);
+        assert!(report.clean());
+    }
+
+    #[test]
+    fn protocol_reports_surface_with_logical_position() {
+        let report = explore(&ExploreConfig::exhaustive(10), || {
+            report_protocol("stale commit".to_string());
+        });
+        assert_eq!(report.violations.len(), 1);
+        match &report.violations[0] {
+            Violation::Protocol {
+                detail, vthread, ..
+            } => {
+                assert_eq!(detail, "stale commit");
+                assert_eq!(*vthread, 0);
+            }
+            other => panic!("expected protocol violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn map_calls_on_a_vthread_stay_serial_and_yield() {
+        // map_with on a vthread must not spawn real workers — everything
+        // runs on the root vthread with a Pop yield per item.
+        let report = explore(&ExploreConfig::exhaustive(100), || {
+            let me = std::thread::current().id();
+            let items: Vec<u32> = (0..5).collect();
+            let on_me = crate::map_with(
+                4,
+                &items,
+                || (),
+                |(), _, _| std::thread::current().id() == me,
+            );
+            assert!(on_me.into_iter().all(|same| same));
+            let on_me = crate::map_with_cost(
+                4,
+                &items,
+                |_, &x| u64::from(x),
+                || (),
+                |(), _, _| std::thread::current().id() == me,
+            );
+            assert!(on_me.into_iter().all(|same| same));
+        });
+        assert!(report.exhausted);
+        assert!(report.clean());
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let body = || {
+            crate::join_with_cost(
+                2,
+                2,
+                3,
+                |_| {
+                    yield_point(YieldKind::Validate);
+                    yield_point(YieldKind::Commit);
+                },
+                |_| {
+                    yield_point(YieldKind::SpecWrite);
+                },
+            );
+        };
+        let first = explore(&ExploreConfig::exhaustive(10_000), body);
+        let second = explore(&ExploreConfig::exhaustive(10_000), body);
+        assert_eq!(first.schedules, second.schedules);
+        assert_eq!(first.exhausted, second.exhausted);
+        assert_eq!(first.max_choice_points, second.max_choice_points);
+    }
+}
