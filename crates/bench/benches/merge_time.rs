@@ -62,7 +62,11 @@ fn bench_group(c: &mut Criterion, group_name: &str, threads: usize) {
 /// dominates. This is the trajectory that gates the undo-log walk: a
 /// regression in its trail/pool management shows up here long before the
 /// wide `schedule_merging/*` configurations notice.
-const WALK_DEPTHS: [usize; 3] = [16, 24, 32];
+// Depth 40 joined when the condition-partition row index landed: the deeper
+// the nest, the larger the rows and the more a per-row linear rescan costs,
+// so it is the configuration most sensitive to a regression in the index's
+// group/bucket maintenance.
+const WALK_DEPTHS: [usize; 4] = [16, 24, 32, 40];
 
 fn merge_walk_group(c: &mut Criterion, group_name: &str, threads: usize) {
     let mut group = c.benchmark_group(group_name);

@@ -3,7 +3,7 @@
 //!
 //! Compares a fresh criterion-shim measurement (the JSON-lines file produced
 //! by running `cargo bench` with `CRITERION_JSON=<path>`) against a committed
-//! baseline (`BENCH_6.json`) and fails when any gated median
+//! baseline (`BENCH_7.json`) and fails when any gated median
 //! (`schedule_merging_serial/*`, `merge_walk/*` and `merge_rewalk/*` — the
 //! one-thread-pinned merge trajectories, whose cost is
 //! core-count-independent) regresses by
@@ -44,7 +44,7 @@
 //! CRITERION_JSON=bench_current.json cargo bench --bench calibration \
 //!     --bench merge_time --bench path_schedule_time
 //! cargo run --release -p cpg-bench --bin bench_guard -- \
-//!     --baseline BENCH_6.json --current bench_current.json
+//!     --baseline BENCH_7.json --current bench_current.json
 //! ```
 //!
 //! `--emit <path> --label <name>` additionally writes the current
@@ -289,7 +289,7 @@ fn run_gate(baseline: &[(String, f64)], current: &[(String, f64)]) -> GateReport
 }
 
 fn main() -> ExitCode {
-    let mut baseline_path = String::from("BENCH_6.json");
+    let mut baseline_path = String::from("BENCH_7.json");
     let mut current_path = None;
     let mut emit_path = None;
     let mut label = String::from("BENCH_CURRENT");

@@ -374,7 +374,7 @@ pub(crate) struct WalkState {
     stale_buf: Vec<Cube>,
     frontier_buf: Vec<Cube>,
     fresh_buf: Vec<Cube>,
-    candidates_buf: Vec<(Time, Option<PeId>)>,
+    candidates_buf: Vec<(Time, u64, Option<PeId>)>,
     /// Pools: dead schedules and lock sets are recycled instead of freed.
     pub(crate) schedule_pool: Vec<PathSchedule>,
     pub(crate) lock_pool: Vec<LockSet>,
@@ -536,8 +536,11 @@ impl MergeShared<'_> {
         let decided_cube = decided.to_cube();
         let mut stale = std::mem::take(&mut state.stale_buf);
         stale.clear();
-        view.for_each_entry_on(job, &mut |column, time, _| {
-            if time == slip.intended() && column.compatible(&decided_cube) {
+        // Entries at exactly the intended time come straight from the row's
+        // time bucketing; only their cubes are tested against the decided
+        // context. `stale` is sorted below, so the bucket order is immaterial.
+        view.for_each_entry_at_on(job, slip.intended(), &mut |_, column, _| {
+            if column.compatible(&decided_cube) {
                 stale.push(column);
             }
         });
@@ -561,9 +564,8 @@ impl MergeShared<'_> {
         frontier.extend_from_slice(&stale);
         while !frontier.is_empty() {
             fresh.clear();
-            view.for_each_entry_on(job, &mut |column, time, _| {
-                if time == slip.intended()
-                    && stale.binary_search(&column).is_err()
+            view.for_each_entry_at_on(job, slip.intended(), &mut |_, column, _| {
+                if stale.binary_search(&column).is_err()
                     && frontier.iter().any(|s| s.compatible(&column))
                 {
                     fresh.push(column);
@@ -587,17 +589,19 @@ impl MergeShared<'_> {
         // only when none is achievable.
         let mut target = slip.actual();
         let mut target_pe = schedule.entry(job).and_then(|sj| sj.pe());
-        let mut tabled: Option<(Time, Option<PeId>)> = None;
-        view.for_each_entry_on(job, &mut |column, time, resource| {
+        // The earliest reachable tabled time wins; the lowest column key
+        // breaks ties, restating the old first-wins scan in serial entry
+        // order over the index's unordered compatibility groups.
+        let mut tabled: Option<(Time, u64, Option<PeId>)> = None;
+        view.for_each_compatible_entry_on(job, &decided_cube, &mut |key, _, time, resource| {
             if time >= slip.actual()
                 && time != slip.intended()
-                && column.compatible(&decided_cube)
-                && tabled.is_none_or(|(best, _)| time < best)
+                && tabled.is_none_or(|(best, at, _)| (time, key) < (best, at))
             {
-                tabled = Some((time, resource));
+                tabled = Some((time, key, resource));
             }
         });
-        if let Some((time, resource)) = tabled {
+        if let Some((time, _, resource)) = tabled {
             target = time;
             target_pe = resource.or(target_pe);
         }
@@ -1233,20 +1237,31 @@ impl MergeShared<'_> {
     ) {
         let track = &self.tracks.tracks()[track_idx];
         let decided_cube = decided.to_cube();
+        let resolved_bit = 1u64 << resolved.index();
         for job in self.track_jobs(track) {
-            let mut best: Option<(usize, Time, Option<PeId>)> = None;
-            view.for_each_entry_on(job, &mut |column, time, resource| {
-                let ancestors_only = column
-                    .conditions()
-                    .all(|c| c != resolved && decided.value(c).is_some());
-                if ancestors_only && decided_cube.implies(&column) {
-                    let specificity = column.len();
-                    if best.is_none_or(|(len, _, _)| specificity > len) {
-                        best = Some((specificity, time, resource));
+            // An implied column is never excluded by the deciding cube, so
+            // the indexed compatibility scan is a sound prefilter; inside it,
+            // implication plus "does not mention `resolved`" restates the old
+            // ancestors-only check (implication already confines the column
+            // to decided conditions). Highest specificity wins and the
+            // lowest column key breaks ties — the deterministic equivalent
+            // of the old first-wins scan in serial entry order.
+            let mut best: Option<(usize, u64, Time, Option<PeId>)> = None;
+            view.for_each_compatible_entry_on(
+                job,
+                &decided_cube,
+                &mut |key, column, time, resource| {
+                    if column.mention_mask() & resolved_bit == 0 && decided_cube.implies(&column) {
+                        let specificity = column.len();
+                        if best.is_none_or(|(len, at, _, _)| {
+                            specificity > len || (specificity == len && key < at)
+                        }) {
+                            best = Some((specificity, key, time, resource));
+                        }
                     }
-                }
-            });
-            if let Some((_, time, resource)) = best {
+                },
+            );
+            if let Some((_, _, time, resource)) = best {
                 locks.insert_pinned(job, time, resource);
             }
         }
@@ -1278,9 +1293,9 @@ impl MergeShared<'_> {
         let column = self.column_for(schedule, decided, pe, start);
         let mut candidates = std::mem::take(&mut state.candidates_buf);
         candidates.clear();
-        view.for_each_entry_on(job, &mut |existing, t, resource| {
-            if existing.compatible(&column) && t != start {
-                candidates.push((t, resource));
+        view.for_each_compatible_entry_on(job, &column, &mut |key, _, t, resource| {
+            if t != start {
+                candidates.push((t, key, resource));
             }
         });
 
@@ -1293,18 +1308,19 @@ impl MergeShared<'_> {
                 // recorded resource: an execution satisfying two compatible
                 // columns dispatches the activation once, on one resource, so
                 // the first recorded provenance wins over the track-local
-                // choice of later schedules.
-                let mut adopted: Option<PeId> = None;
-                view.for_each_entry_on(job, &mut |existing, time, recorded| {
-                    if adopted.is_none()
-                        && time == start
-                        && recorded.is_some()
-                        && existing.compatible(&column)
-                    {
-                        adopted = recorded;
+                // choice of later schedules. The lowest column key restates
+                // "first" over the index's unordered groups.
+                let mut adopted: Option<(u64, PeId)> = None;
+                view.for_each_compatible_entry_on(job, &column, &mut |key, _, time, recorded| {
+                    if time == start {
+                        if let Some(recorded) = recorded {
+                            if adopted.is_none_or(|(at, _)| key < at) {
+                                adopted = Some((key, recorded));
+                            }
+                        }
                     }
                 });
-                let resource = adopted.or(pe);
+                let resource = adopted.map(|(_, recorded)| recorded).or(pe);
                 view.set_on(job, column, start, resource);
                 resource
             };
@@ -1314,14 +1330,17 @@ impl MergeShared<'_> {
         // Theorem 2: one of the previously tabled activation times of this
         // process avoids every conflict. Moving to a tabled time also adopts
         // the resource recorded for it — that is where the job proved to fit.
-        candidates.sort_unstable_by_key(|&(t, _)| t);
-        candidates.dedup_by_key(|&mut (t, _)| t);
+        // Sorting by (time, key) before the per-time dedup keeps the
+        // lowest-key provenance per candidate time, which is the entry the
+        // old serial-order scan would have kept.
+        candidates.sort_unstable_by_key(|&(t, key, _)| (t, key));
+        candidates.dedup_by_key(|&mut (t, _, _)| t);
         for at in 0..candidates.len() {
-            let (candidate, resource) = candidates[at];
+            let (candidate, _, resource) = candidates[at];
             let moved_column = self.column_for(schedule, decided, pe, candidate);
             let mut still_conflicts = false;
-            view.for_each_entry_on(job, &mut |existing, t, _| {
-                still_conflicts |= existing.compatible(&moved_column) && t != candidate;
+            view.for_each_compatible_entry_on(job, &moved_column, &mut |_, _, t, _| {
+                still_conflicts |= t != candidate;
             });
             if !still_conflicts {
                 if view.get(job, &moved_column) != Some(candidate) {

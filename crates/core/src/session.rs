@@ -1045,6 +1045,26 @@ impl MergeSession {
             std::mem::take(&mut *rewalk.changed.lock().expect("changed columns poisoned"));
         changed_columns.sort_unstable();
         changed_columns.dedup();
+        // Union masks over the changed columns: when nothing in the changed
+        // set can exclude a label (the same aggregate test the table's
+        // partition index uses per row), `any(compatible)` is simply
+        // non-emptiness and the per-track scan is skipped; only labels some
+        // changed column *can* exclude fall back to the linear test.
+        let (mut changed_pos, mut changed_neg) = (0u64, 0u64);
+        for col in &changed_columns {
+            changed_pos |= col.positive_mask();
+            changed_neg |= col.negative_mask();
+        }
+        let any_changed_compatible = |label: &Cube| {
+            if changed_columns.is_empty() {
+                return false;
+            }
+            if label.positive_mask() & changed_neg == 0 && label.negative_mask() & changed_pos == 0
+            {
+                return true;
+            }
+            changed_columns.iter().any(|col| col.compatible(label))
+        };
         self.track_delays = self
             .tracks
             .tracks()
@@ -1052,10 +1072,7 @@ impl MergeSession {
             .enumerate()
             .map(|(idx, track)| {
                 let label = track.label();
-                if have_delays
-                    && !dirty[idx]
-                    && !changed_columns.iter().any(|col| col.compatible(&label))
-                {
+                if have_delays && !dirty[idx] && !any_changed_compatible(&label) {
                     cached_delays[idx]
                 } else {
                     table.track_delay(&self.cpg, &label)

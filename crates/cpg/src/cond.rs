@@ -195,8 +195,33 @@ impl Cube {
     /// `true` when the cube constrains `cond` (with either polarity).
     #[must_use]
     pub fn mentions(&self, cond: CondId) -> bool {
-        let bit = 1u64 << cond.index();
-        (self.positive | self.negative) & bit != 0
+        (self.positive | self.negative) & (1u64 << cond.index()) != 0
+    }
+
+    /// The bitset of conditions required to be true (bit `i` set ⇔ the cube
+    /// contains the positive literal of condition `i`).
+    ///
+    /// The raw masks are the currency of the schedule table's
+    /// condition-partition index: compatibility, implication and
+    /// mention-disjointness over whole *groups* of cubes reduce to bitwise
+    /// tests on unions of these masks.
+    #[must_use]
+    pub const fn positive_mask(&self) -> u64 {
+        self.positive
+    }
+
+    /// The bitset of conditions required to be false.
+    #[must_use]
+    pub const fn negative_mask(&self) -> u64 {
+        self.negative
+    }
+
+    /// The bitset of conditions mentioned with either polarity — the cube's
+    /// *mention mask*. Two cubes with disjoint mention masks are always
+    /// compatible (they constrain disjoint conditions).
+    #[must_use]
+    pub const fn mention_mask(&self) -> u64 {
+        self.positive | self.negative
     }
 
     /// `true` when the cube contains exactly this literal.
@@ -301,16 +326,25 @@ impl Cube {
     }
 
     /// Iterates over the literals of the conjunction in condition order.
+    ///
+    /// Walks the set bits of the combined mask with `trailing_zeros`, so a
+    /// sparse cube visits only its own literals rather than all
+    /// [`MAX_CONDITIONS`] bit positions.
     pub fn literals(&self) -> impl Iterator<Item = Literal> + '_ {
-        (0..MAX_CONDITIONS).filter_map(move |i| {
-            let bit = 1u64 << i;
-            if self.positive & bit != 0 {
-                Some(CondId::new(i).is_true())
-            } else if self.negative & bit != 0 {
-                Some(CondId::new(i).is_false())
-            } else {
-                None
+        let positive = self.positive;
+        let mut remaining = self.positive | self.negative;
+        std::iter::from_fn(move || {
+            if remaining == 0 {
+                return None;
             }
+            let i = remaining.trailing_zeros() as usize;
+            remaining &= remaining - 1;
+            let cond = CondId::new(i);
+            Some(if positive & (1u64 << i) != 0 {
+                cond.is_true()
+            } else {
+                cond.is_false()
+            })
         })
     }
 
@@ -319,22 +353,20 @@ impl Cube {
         self.literals().map(Literal::cond)
     }
 
-    /// `true` when a complete assignment satisfies this conjunction.
+    /// `true` when a complete assignment satisfies this conjunction: every
+    /// positive literal sits in the assignment's true set and every negative
+    /// literal in its false set. Two mask subtractions — no literal walk.
     #[must_use]
-    pub fn satisfied_by(&self, assignment: &Assignment) -> bool {
-        self.literals()
-            .all(|lit| assignment.value(lit.cond()) == Some(lit.value()))
+    pub const fn satisfied_by(&self, assignment: &Assignment) -> bool {
+        self.positive & !assignment.true_mask() == 0
+            && self.negative & !assignment.false_mask() == 0
     }
 
     /// `true` when a (possibly partial) assignment is consistent with this
     /// conjunction, i.e. assigns no condition the opposite polarity.
     #[must_use]
-    pub fn consistent_with(&self, assignment: &Assignment) -> bool {
-        self.literals().all(|lit| {
-            assignment
-                .value(lit.cond())
-                .is_none_or(|v| v == lit.value())
-        })
+    pub const fn consistent_with(&self, assignment: &Assignment) -> bool {
+        self.positive & assignment.false_mask() == 0 && self.negative & assignment.true_mask() == 0
     }
 
     /// Renders the cube with the given condition names, using `true` for the
@@ -732,11 +764,40 @@ impl Assignment {
         }
     }
 
-    /// Iterates over the assigned literals in condition order.
+    /// The bitset of assigned conditions (bit `i` set ⇔ condition `i` has a
+    /// value). Counterpart of [`Cube::mention_mask`] for group-level
+    /// satisfiability pruning: a cube can only be satisfied when its mention
+    /// mask is a subset of this.
+    #[must_use]
+    pub const fn assigned_mask(&self) -> u64 {
+        self.assigned
+    }
+
+    /// The bitset of conditions assigned `true`.
+    #[must_use]
+    pub const fn true_mask(&self) -> u64 {
+        self.assigned & self.values
+    }
+
+    /// The bitset of conditions assigned `false`.
+    #[must_use]
+    pub const fn false_mask(&self) -> u64 {
+        self.assigned & !self.values
+    }
+
+    /// Iterates over the assigned literals in condition order, walking only
+    /// the set bits of the assigned mask.
     pub fn literals(&self) -> impl Iterator<Item = Literal> + '_ {
-        (0..MAX_CONDITIONS).filter_map(move |i| {
+        let values = self.values;
+        let mut remaining = self.assigned;
+        std::iter::from_fn(move || {
+            if remaining == 0 {
+                return None;
+            }
+            let i = remaining.trailing_zeros() as usize;
+            remaining &= remaining - 1;
             let cond = CondId::new(i);
-            self.value(cond).map(|v| cond.literal(v))
+            Some(cond.literal(values & (1u64 << i) != 0))
         })
     }
 }

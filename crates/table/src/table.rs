@@ -25,13 +25,262 @@ struct Cell {
 /// Sentinel for "job has no row yet" in the dense per-job row index.
 const ABSENT: u32 = u32::MAX;
 
+/// Metadata of one mention-mask partition of a row's entries: every member
+/// in the group's `RowIndex::members` range has a column cube mentioning
+/// exactly the conditions in `mask` (with either polarity).
+///
+/// The partition is what turns the merge walk's per-row compatibility scans
+/// into group lookups: a probe whose mention mask is disjoint from `mask` is
+/// compatible with *every* member (compatibility can only fail on a condition
+/// both cubes mention), and more generally a probe that the member union
+/// masks cannot exclude (`probe.positive ∩ neg = ∅ ∧ probe.negative ∩ pos =
+/// ∅`) is compatible with the whole group without testing a single cube.
+#[derive(Debug, Clone)]
+struct GroupMeta {
+    /// Mention mask (`positive | negative`) shared by every member's column.
+    mask: u64,
+    /// Union of the members' positive masks.
+    pos: u64,
+    /// Union of the members' negative masks.
+    neg: u64,
+    /// Start of the group's run in [`RowIndex::members`]; the run ends where
+    /// the next group's starts (or at `members.len()` for the last group).
+    start: u32,
+}
+
+/// The condition-partition index of one row: entries grouped by the mention
+/// mask of their column cube, plus aggregate union masks and a per-time
+/// bucketing. Fully derived from the row's entries (and the table's columns);
+/// it takes no part in row equality.
+///
+/// Both views are *flat* vectors delimited by metadata (CSR-style) rather
+/// than nested per-group/per-bucket vectors: the warm re-merge path splices
+/// whole chain logs through this index cell by cell, and a nested layout
+/// would allocate on most of those writes (deep-nest rows put nearly every
+/// entry in its own group), while flat inserts stay amortized
+/// allocation-free.
+///
+/// Maintenance is *deferred across log splices*: `splice_writes` replays a
+/// whole chain's worth of cells into a row, and paying a sorted insert into
+/// `members` and `times` per spliced cell dominates the warm re-merge cost.
+/// A splice therefore only updates the serial entry list and marks the index
+/// `stale`; every query on a stale row falls back to the linear entry scan
+/// (the exact pre-index behaviour), and the next direct `set_on` to the row
+/// rebuilds the whole index in one pass (capacity reused, so the rebuild is
+/// allocation-free after warm-up). The serial walk never splices, so its
+/// probes always see a fresh index.
+#[derive(Debug, Clone, Default)]
+struct RowIndex {
+    /// Union of the positive masks over every column tabled in the row.
+    pos_union: u64,
+    /// Union of the negative masks over every column tabled in the row.
+    neg_union: u64,
+    /// `(column index, column cube, cell)` sorted by (mention mask, column
+    /// index); group `i` owns `members[groups[i].start..groups[i + 1].start]`.
+    members: Vec<(u32, Cube, Cell)>,
+    /// Group metadata, sorted by mention mask.
+    groups: Vec<GroupMeta>,
+    /// `(tabled time, column index, column cube, recorded resource)` sorted
+    /// by (time, column index). Serves the "entries at exactly time T"
+    /// probes of the repair loops as one binary search.
+    times: Vec<(Time, u32, Cube, Option<PeId>)>,
+    /// `true` after a log splice deferred maintenance: the vectors above are
+    /// outdated and queries must scan the row's serial entries instead. The
+    /// next direct write rebuilds the index and clears the flag.
+    stale: bool,
+}
+
+impl RowIndex {
+    /// The `members` range owned by group `group`.
+    fn group_range(&self, group: usize) -> (usize, usize) {
+        let start = self.groups[group].start as usize;
+        let end = self
+            .groups
+            .get(group + 1)
+            .map_or(self.members.len(), |next| next.start as usize);
+        (start, end)
+    }
+
+    /// Registers a fresh cell under the column at table-wide index `col`.
+    fn insert(&mut self, col: u32, column: Cube, cell: Cell) {
+        let (pos, neg) = (column.positive_mask(), column.negative_mask());
+        self.pos_union |= pos;
+        self.neg_union |= neg;
+        let mask = pos | neg;
+        let group = match self.groups.binary_search_by_key(&mask, |g| g.mask) {
+            Ok(at) => at,
+            Err(at) => {
+                let start = self
+                    .groups
+                    .get(at)
+                    .map_or(self.members.len(), |next| next.start as usize);
+                self.groups.insert(
+                    at,
+                    GroupMeta {
+                        mask,
+                        pos: 0,
+                        neg: 0,
+                        start: start as u32,
+                    },
+                );
+                at
+            }
+        };
+        self.groups[group].pos |= pos;
+        self.groups[group].neg |= neg;
+        let (start, end) = self.group_range(group);
+        let slot = match self.members[start..end].binary_search_by_key(&col, |&(i, _, _)| i) {
+            Ok(offset) => {
+                debug_assert!(false, "insert of an already-indexed column");
+                offset
+            }
+            Err(offset) => offset,
+        };
+        self.members.insert(start + slot, (col, column, cell));
+        for later in &mut self.groups[group + 1..] {
+            later.start += 1;
+        }
+        let bucket = self.time_slot(cell.time, col).unwrap_err();
+        self.times
+            .insert(bucket, (cell.time, col, column, cell.resource));
+    }
+
+    /// Updates the indexed copies of a cell that was overwritten in place.
+    /// The column (and hence every mask) is unchanged; only the time
+    /// bucketing and the cached cells can move.
+    fn overwrite(&mut self, col: u32, column: Cube, old: Cell, new: Cell) {
+        let mask = column.mention_mask();
+        let group = self
+            .groups
+            .binary_search_by_key(&mask, |g| g.mask)
+            .expect("overwrite of an unindexed column");
+        let (start, end) = self.group_range(group);
+        let slot = self.members[start..end]
+            .binary_search_by_key(&col, |&(i, _, _)| i)
+            .expect("overwrite of an unindexed column");
+        self.members[start + slot].2 = new;
+        if old.time == new.time {
+            if old.resource != new.resource {
+                let bucket = self
+                    .time_slot(old.time, col)
+                    .expect("time slot of an indexed cell");
+                self.times[bucket].3 = new.resource;
+            }
+        } else {
+            let bucket = self
+                .time_slot(old.time, col)
+                .expect("time slot of an indexed cell");
+            self.times.remove(bucket);
+            let bucket = self.time_slot(new.time, col).unwrap_err();
+            self.times
+                .insert(bucket, (new.time, col, column, new.resource));
+        }
+    }
+
+    /// Unregisters the cell of the column at index `col`. Union masks are
+    /// recomputed exactly, so the index stays a pure function of the
+    /// remaining entries.
+    fn remove(&mut self, col: u32, column: Cube, cell: Cell) {
+        let mask = column.mention_mask();
+        if let Ok(group) = self.groups.binary_search_by_key(&mask, |g| g.mask) {
+            let (start, end) = self.group_range(group);
+            if let Ok(slot) = self.members[start..end].binary_search_by_key(&col, |&(i, _, _)| i) {
+                self.members.remove(start + slot);
+                for later in &mut self.groups[group + 1..] {
+                    later.start -= 1;
+                }
+                if end - start == 1 {
+                    self.groups.remove(group);
+                } else {
+                    let (start, end) = self.group_range(group);
+                    let (mut pos, mut neg) = (0, 0);
+                    for &(_, c, _) in &self.members[start..end] {
+                        pos |= c.positive_mask();
+                        neg |= c.negative_mask();
+                    }
+                    self.groups[group].pos = pos;
+                    self.groups[group].neg = neg;
+                }
+            }
+        }
+        self.pos_union = 0;
+        self.neg_union = 0;
+        for group in &self.groups {
+            self.pos_union |= group.pos;
+            self.neg_union |= group.neg;
+        }
+        if let Ok(bucket) = self.time_slot(cell.time, col) {
+            self.times.remove(bucket);
+        }
+    }
+
+    /// Position of `(time, col)` in the flat time bucketing (`Err` is the
+    /// insertion slot).
+    fn time_slot(&self, time: Time, col: u32) -> Result<usize, usize> {
+        self.times
+            .binary_search_by(|&(t, i, _, _)| (t, i).cmp(&(time, col)))
+    }
+
+    /// Recomputes the whole index from the row's serial entries after a
+    /// splice deferred maintenance. One pass plus two in-place sorts; the
+    /// vector capacities survive the `clear`, so a rebuild allocates nothing
+    /// once the row has been rebuilt at its high-water size before.
+    fn rebuild(&mut self, entries: &[(u32, Cell)], columns: &[Cube]) {
+        self.members.clear();
+        self.groups.clear();
+        self.times.clear();
+        self.pos_union = 0;
+        self.neg_union = 0;
+        for &(col, cell) in entries {
+            let column = columns[col as usize];
+            self.members.push((col, column, cell));
+            self.times.push((cell.time, col, column, cell.resource));
+        }
+        self.members
+            .sort_unstable_by_key(|&(col, column, _)| (column.mention_mask(), col));
+        self.times
+            .sort_unstable_by_key(|&(time, col, ..)| (time, col));
+        for (at, &(_, column, _)) in self.members.iter().enumerate() {
+            let (pos, neg) = (column.positive_mask(), column.negative_mask());
+            self.pos_union |= pos;
+            self.neg_union |= neg;
+            let mask = pos | neg;
+            match self.groups.last_mut() {
+                Some(last) if last.mask == mask => {
+                    last.pos |= pos;
+                    last.neg |= neg;
+                }
+                _ => self.groups.push(GroupMeta {
+                    mask,
+                    pos,
+                    neg,
+                    start: at as u32,
+                }),
+            }
+        }
+        self.stale = false;
+    }
+}
+
 /// One row of the table: the job and its `(column index, cell)` entries,
-/// sorted by column index (the table-wide insertion order of the columns).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// sorted by column index (the table-wide insertion order of the columns),
+/// plus the derived condition-partition index over those entries.
+#[derive(Debug, Clone)]
 struct Row {
     job: Job,
     entries: Vec<(u32, Cell)>,
+    index: RowIndex,
 }
+
+// The partition index is derived from `entries` (and the shared column
+// list), so equality compares the observable row content only.
+impl PartialEq for Row {
+    fn eq(&self, other: &Self) -> bool {
+        self.job == other.job && self.entries == other.entries
+    }
+}
+
+impl Eq for Row {}
 
 /// The schedule table: one row per process (and per condition broadcast), one
 /// column per conjunction of condition values, and in each cell the activation
@@ -216,6 +465,7 @@ impl ScheduleTable {
             Row {
                 job,
                 entries: Vec::new(),
+                index: RowIndex::default(),
             },
         );
         // Rows after the insertion point shifted by one; re-point their
@@ -254,17 +504,71 @@ impl ScheduleTable {
         let index = self.column_index_or_insert(column) as u32;
         let position = self.row_position_or_insert(job);
         self.bump_version(job);
-        let entries = &mut self.rows[position].entries;
-        match entries.binary_search_by_key(&index, |&(i, _)| i) {
+        self.write_cell(position, index, column, Cell { time, resource })
+            .map(|cell| cell.time)
+    }
+
+    /// Writes `cell` into the row at `position` under the column at table
+    /// index `index`, keeping the sorted entry list and the row's partition
+    /// index in sync. Returns the replaced cell, if the write overwrote one.
+    ///
+    /// A row left stale by a [`splice`](ScheduleTable::splice_writes) is
+    /// rebuilt here in one pass before the incremental update, so direct
+    /// writers always leave a fresh index behind.
+    #[inline]
+    fn write_cell(
+        &mut self,
+        position: usize,
+        index: u32,
+        column: Cube,
+        cell: Cell,
+    ) -> Option<Cell> {
+        let row = &mut self.rows[position];
+        if row.index.stale {
+            let previous = Self::write_entry(&mut row.entries, index, cell);
+            row.index.rebuild(&row.entries, &self.columns);
+            return previous;
+        }
+        match row.entries.binary_search_by_key(&index, |&(i, _)| i) {
             Ok(at) => {
-                let previous = std::mem::replace(&mut entries[at].1, Cell { time, resource });
-                Some(previous.time)
+                let previous = std::mem::replace(&mut row.entries[at].1, cell);
+                row.index.overwrite(index, column, previous, cell);
+                Some(previous)
             }
             Err(at) => {
-                entries.insert(at, (index, Cell { time, resource }));
+                row.entries.insert(at, (index, cell));
+                row.index.insert(index, column, cell);
                 None
             }
         }
+    }
+
+    /// Writes `cell` into the sorted serial entry list alone, returning the
+    /// replaced cell if any.
+    #[inline]
+    fn write_entry(entries: &mut Vec<(u32, Cell)>, index: u32, cell: Cell) -> Option<Cell> {
+        match entries.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(at) => Some(std::mem::replace(&mut entries[at].1, cell)),
+            Err(at) => {
+                entries.insert(at, (index, cell));
+                None
+            }
+        }
+    }
+
+    /// Writes `cell` into the row at `position` with index maintenance
+    /// *deferred*: only the serial entry list is updated and the row's
+    /// partition index is marked stale. Queries on a stale row fall back to
+    /// the linear entry scan, and the next [`write_cell`] rebuilds the index.
+    ///
+    /// This is the splice path's write primitive: a warm re-merge replays
+    /// whole chain logs cell by cell, and per-cell sorted inserts into the
+    /// index would dominate its cost.
+    #[inline]
+    fn write_cell_deferred(&mut self, position: usize, index: u32, cell: Cell) -> Option<Cell> {
+        let row = &mut self.rows[position];
+        row.index.stale = true;
+        Self::write_entry(&mut row.entries, index, cell)
     }
 
     /// Grafts a column into the table: returns the insertion-order index of
@@ -287,7 +591,9 @@ impl ScheduleTable {
     ///
     /// Must be observably identical to calling [`ScheduleTable::set_on`] per
     /// write (including per-write row version bumps); it only skips the
-    /// repeated column lookups.
+    /// repeated column lookups and defers partition-index maintenance on the
+    /// touched rows (queries on a stale row serve the same entries from the
+    /// linear scan until the next direct write rebuilds the index).
     pub(crate) fn splice_writes(&mut self, writes: &[crate::txn::Write]) {
         let mut grafted: Vec<(Cube, u32)> = Vec::new();
         for write in writes {
@@ -305,11 +611,7 @@ impl ScheduleTable {
                 time: write.time,
                 resource: write.resource,
             };
-            let entries = &mut self.rows[position].entries;
-            match entries.binary_search_by_key(&index, |&(i, _)| i) {
-                Ok(at) => entries[at].1 = cell,
-                Err(at) => entries.insert(at, (index, cell)),
-            }
+            self.write_cell_deferred(position, index, cell);
         }
     }
 
@@ -322,14 +624,16 @@ impl ScheduleTable {
         let at = entries.binary_search_by_key(&index, |&(i, _)| i).ok()?;
         let (_, cell) = entries.remove(at);
         self.bump_version(job);
-        let entries = &mut self.rows[position].entries;
-        if entries.is_empty() {
+        let row = &mut self.rows[position];
+        if row.entries.is_empty() {
             self.rows.remove(position);
             self.index_row(job, ABSENT);
             for shifted in position..self.rows.len() {
                 let shifted_job = self.rows[shifted].job;
                 self.index_row(shifted_job, shifted as u32);
             }
+        } else if !row.index.stale {
+            row.index.remove(index, *column, cell);
         }
         Some(cell.time)
     }
@@ -403,13 +707,41 @@ impl ScheduleTable {
     /// The entries of a row that are *compatible* with (not excluded by) the
     /// given column expression — the potential conflicts examined by the
     /// table-generation algorithm before placing a new activation time.
+    ///
+    /// Served from the row's condition-partition index, so entries come out
+    /// in mention-mask group order rather than column insertion order; a
+    /// group whose union masks cannot exclude `column` is yielded without
+    /// testing any member cube. A row whose index is stale (maintenance was
+    /// deferred by a log splice) is scanned linearly instead, in column
+    /// insertion order.
     pub fn compatible_entries<'a>(
         &'a self,
         job: Job,
         column: &'a Cube,
     ) -> impl Iterator<Item = (Cube, Time)> + 'a {
-        self.entries(job)
-            .filter(move |(existing, _)| existing.compatible(column))
+        let (probe_pos, probe_neg) = (column.positive_mask(), column.negative_mask());
+        let row = self.row(job);
+        let fresh = row.filter(|row| !row.index.stale);
+        let stale = row.filter(|row| row.index.stale);
+        let indexed = fresh.into_iter().flat_map(move |row| {
+            let index = &row.index;
+            (0..index.groups.len()).flat_map(move |group| {
+                let meta = &index.groups[group];
+                let whole_group = probe_pos & meta.neg == 0 && probe_neg & meta.pos == 0;
+                let (start, end) = index.group_range(group);
+                index.members[start..end]
+                    .iter()
+                    .filter(move |&&(_, existing, _)| whole_group || existing.compatible(column))
+                    .map(|&(_, existing, cell)| (existing, cell.time))
+            })
+        });
+        let linear = stale.into_iter().flat_map(move |row| {
+            row.entries
+                .iter()
+                .map(move |&(key, cell)| (self.columns[key as usize], cell.time))
+                .filter(move |(existing, _)| existing.compatible(column))
+        });
+        indexed.chain(linear)
     }
 
     /// The activation time applicable during an execution described by a
@@ -422,13 +754,37 @@ impl ScheduleTable {
     /// [`ScheduleTable::verify`]).
     #[must_use]
     pub fn activation_time(&self, job: Job, assignment: &Assignment) -> Option<Time> {
+        let row = self.row(job)?;
+        let assigned = assignment.assigned_mask();
+        let index = &row.index;
         let mut found: Option<Time> = None;
-        for (column, time) in self.entries(job) {
-            if column.satisfied_by(assignment) {
-                match found {
-                    None => found = Some(time),
-                    Some(existing) if existing != time => return None,
-                    Some(_) => {}
+        if index.stale {
+            for &(key, cell) in &row.entries {
+                if self.columns[key as usize].satisfied_by(assignment) {
+                    match found {
+                        None => found = Some(cell.time),
+                        Some(existing) if existing != cell.time => return None,
+                        Some(_) => {}
+                    }
+                }
+            }
+            return found;
+        }
+        for group in 0..index.groups.len() {
+            // A column can only be satisfied when every condition it
+            // mentions carries a value, so groups mentioning an unassigned
+            // condition are skipped wholesale.
+            if index.groups[group].mask & !assigned != 0 {
+                continue;
+            }
+            let (start, end) = index.group_range(group);
+            for &(_, column, cell) in &index.members[start..end] {
+                if column.satisfied_by(assignment) {
+                    match found {
+                        None => found = Some(cell.time),
+                        Some(existing) if existing != cell.time => return None,
+                        Some(_) => {}
+                    }
                 }
             }
         }
@@ -444,19 +800,50 @@ impl ScheduleTable {
     /// the dispatcher/simulator charge the activation to.
     #[must_use]
     pub fn activation_resource(&self, job: Job, assignment: &Assignment) -> Option<PeId> {
-        let mut best: Option<(usize, PeId)> = None;
-        for (column, _, resource) in self.entries_on(job) {
-            if !column.satisfied_by(assignment) {
+        let row = self.row(job)?;
+        let assigned = assignment.assigned_mask();
+        let index = &row.index;
+        // Highest specificity wins; the lowest column index breaks ties,
+        // which is exactly what the previous first-wins scan in serial entry
+        // order selected.
+        let mut best: Option<(usize, u32, PeId)> = None;
+        if index.stale {
+            for &(key, cell) in &row.entries {
+                let column = self.columns[key as usize];
+                if !column.satisfied_by(assignment) {
+                    continue;
+                }
+                if let Some(pe) = cell.resource {
+                    let specificity = column.len();
+                    if best.is_none_or(|(len, at, _)| {
+                        specificity > len || (specificity == len && key < at)
+                    }) {
+                        best = Some((specificity, key, pe));
+                    }
+                }
+            }
+            return best.map(|(_, _, pe)| pe);
+        }
+        for group in 0..index.groups.len() {
+            if index.groups[group].mask & !assigned != 0 {
                 continue;
             }
-            if let Some(pe) = resource {
-                let specificity = column.len();
-                if best.is_none_or(|(len, _)| specificity > len) {
-                    best = Some((specificity, pe));
+            let (start, end) = index.group_range(group);
+            for &(key, column, cell) in &index.members[start..end] {
+                if !column.satisfied_by(assignment) {
+                    continue;
+                }
+                if let Some(pe) = cell.resource {
+                    let specificity = column.len();
+                    if best.is_none_or(|(len, at, _)| {
+                        specificity > len || (specificity == len && key < at)
+                    }) {
+                        best = Some((specificity, key, pe));
+                    }
                 }
             }
         }
-        best.map(|(_, pe)| pe)
+        best.map(|(_, _, pe)| pe)
     }
 
     /// The activation time applicable on the alternative path labelled
@@ -682,6 +1069,94 @@ impl ScheduleTable {
                     cell.resource,
                 );
             }
+        }
+    }
+
+    /// Visits the entries of the row of `job` whose column is *compatible*
+    /// with `probe`, passing the table-wide column index as a stable key.
+    ///
+    /// Served from the row's condition-partition index, so iteration order is
+    /// mention-mask group order, not serial entry order — callers must either
+    /// be order-independent or re-establish a deterministic order from the
+    /// keys. A row whose aggregate union masks cannot exclude the probe is
+    /// visited without testing a single cube; otherwise each group is either
+    /// all-compatible (its union masks cannot exclude the probe) or tested
+    /// member by member with the two-AND cube test.
+    // lint: hot-path
+    #[inline]
+    pub(crate) fn visit_compatible_entries(
+        &self,
+        job: Job,
+        probe: &Cube,
+        visit: &mut dyn FnMut(u64, Cube, Time, Option<PeId>),
+    ) {
+        let Some(row) = self.row(job) else { return };
+        let index = &row.index;
+        if index.stale {
+            // A splice deferred index maintenance on this row: serve the
+            // scan linearly from the serial entries, exactly as before the
+            // index existed.
+            for &(key, cell) in &row.entries {
+                let column = self.columns[key as usize];
+                if column.compatible(probe) {
+                    visit(u64::from(key), column, cell.time, cell.resource);
+                }
+            }
+            return;
+        }
+        let (probe_pos, probe_neg) = (probe.positive_mask(), probe.negative_mask());
+        if probe_pos & index.neg_union == 0 && probe_neg & index.pos_union == 0 {
+            // Nothing in the row can exclude the probe: visit everything.
+            for &(key, column, cell) in &index.members {
+                visit(u64::from(key), column, cell.time, cell.resource);
+            }
+            return;
+        }
+        for group in 0..index.groups.len() {
+            let meta = &index.groups[group];
+            let (start, end) = index.group_range(group);
+            if probe_pos & meta.neg == 0 && probe_neg & meta.pos == 0 {
+                for &(key, column, cell) in &index.members[start..end] {
+                    visit(u64::from(key), column, cell.time, cell.resource);
+                }
+            } else {
+                for &(key, column, cell) in &index.members[start..end] {
+                    if column.compatible(probe) {
+                        visit(u64::from(key), column, cell.time, cell.resource);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visits the entries of the row of `job` tabled at exactly `time`,
+    /// passing the table-wide column index as a stable key. Served from the
+    /// row's time bucketing: a direct binary search instead of a full-row
+    /// filter. Iteration order within the bucket is column-index order.
+    // lint: hot-path
+    #[inline]
+    pub(crate) fn visit_entries_at(
+        &self,
+        job: Job,
+        time: Time,
+        visit: &mut dyn FnMut(u64, Cube, Option<PeId>),
+    ) {
+        let Some(row) = self.row(job) else { return };
+        if row.index.stale {
+            for &(key, cell) in &row.entries {
+                if cell.time == time {
+                    visit(u64::from(key), self.columns[key as usize], cell.resource);
+                }
+            }
+            return;
+        }
+        let times = &row.index.times;
+        let start = times.partition_point(|&(t, ..)| t < time);
+        for &(t, key, column, resource) in &times[start..] {
+            if t != time {
+                break;
+            }
+            visit(u64::from(key), column, resource);
         }
     }
 

@@ -138,6 +138,48 @@ pub trait TableView {
         });
     }
 
+    /// Visits the `(key, column, time, resource)` entries of the row of `job`
+    /// whose column is *compatible* with (not excluded by) `probe`.
+    ///
+    /// **Iteration order is unspecified** — [`ScheduleTable`] serves this
+    /// from its per-row condition-partition index in mention-mask group
+    /// order. Callers must be order-independent or re-establish a
+    /// deterministic order from the keys. The default filters a keyed scan,
+    /// so it visits in key order and records the same read dependencies a
+    /// keyed scan would.
+    #[inline]
+    fn for_each_compatible_entry_on(
+        &self,
+        job: Job,
+        probe: &Cube,
+        visit: &mut dyn FnMut(u64, Cube, Time, Option<PeId>),
+    ) {
+        self.for_each_keyed_entry_on(job, &mut |key, column, time, resource| {
+            if column.compatible(probe) {
+                visit(key, column, time, resource);
+            }
+        });
+    }
+
+    /// Visits the `(key, column, resource)` entries of the row of `job`
+    /// tabled at exactly `time`.
+    ///
+    /// **Iteration order is unspecified** — [`ScheduleTable`] serves this
+    /// from its per-row time bucketing. The default filters a keyed scan.
+    #[inline]
+    fn for_each_entry_at_on(
+        &self,
+        job: Job,
+        time: Time,
+        visit: &mut dyn FnMut(u64, Cube, Option<PeId>),
+    ) {
+        self.for_each_keyed_entry_on(job, &mut |key, column, tabled, resource| {
+            if tabled == time {
+                visit(key, column, resource);
+            }
+        });
+    }
+
     /// The write version of the row of `job` (0 when never written).
     fn row_version(&self, job: Job) -> u64;
 
@@ -209,6 +251,31 @@ impl TableView for ScheduleTable {
     ) {
         race_hooks::read_row(job, "ScheduleTable::for_each_keyed_entry_on");
         self.visit_keyed_entries(job, visit);
+    }
+
+    // The index-served scans report the same row-level read the linear scan
+    // did: which entries qualify is a function of the whole row, so the race
+    // detector's dependency is the row, not the visited subset.
+    #[inline]
+    fn for_each_compatible_entry_on(
+        &self,
+        job: Job,
+        probe: &Cube,
+        visit: &mut dyn FnMut(u64, Cube, Time, Option<PeId>),
+    ) {
+        race_hooks::read_row(job, "ScheduleTable::for_each_compatible_entry_on");
+        self.visit_compatible_entries(job, probe, visit);
+    }
+
+    #[inline]
+    fn for_each_entry_at_on(
+        &self,
+        job: Job,
+        time: Time,
+        visit: &mut dyn FnMut(u64, Cube, Option<PeId>),
+    ) {
+        race_hooks::read_row(job, "ScheduleTable::for_each_entry_at_on");
+        self.visit_entries_at(job, time, visit);
     }
 
     #[inline]
@@ -317,11 +384,21 @@ impl ReadSet {
 /// One overlay row: the merged `(key, column, time, resource)` entries of the
 /// base row plus this transaction's writes, sorted by key, together with the
 /// number of writes the transaction applied to the row.
+///
+/// The union masks are the transaction-local delta of the base table's
+/// condition-partition index: they are kept current as base entries are
+/// cloned in and overlay writes land, so a compatibility scan over the
+/// overlay can take the same "nothing here can exclude the probe" fast path
+/// the indexed base row takes.
 #[derive(Debug)]
 struct TxnRow {
     job: Job,
     written: u64,
     entries: Vec<(u64, Cube, Time, Option<PeId>)>,
+    /// Union of the positive masks over every column of the merged row.
+    pos_union: u64,
+    /// Union of the negative masks over every column of the merged row.
+    neg_union: u64,
 }
 
 /// A speculative write overlay over a frozen [`TableView`].
@@ -513,12 +590,18 @@ impl TableView for TableTxn<'_> {
                 // First write to this row: clone the base row into the
                 // overlay so later reads see a complete merged row, and
                 // record a content dependency on the base state that was
-                // cloned (fingerprinted in the same pass).
+                // cloned (fingerprinted in the same pass). The union masks
+                // of the cloned columns are accumulated in the same pass,
+                // seeding the overlay's index delta.
                 let mut entries = Vec::new();
+                let mut pos_union = 0u64;
+                let mut neg_union = 0u64;
                 if self.record_reads {
                     let mut hasher = FrontierHasher::new();
                     self.base.for_each_keyed_entry_on(job, &mut |k, c, t, r| {
                         (k, c, t, r).hash(&mut hasher);
+                        pos_union |= c.positive_mask();
+                        neg_union |= c.negative_mask();
                         entries.push((k, c, t, r));
                     });
                     (entries.len() as u64).hash(&mut hasher);
@@ -526,6 +609,8 @@ impl TableView for TableTxn<'_> {
                         .note_row_scan(job, std::hash::Hasher::finish(&hasher));
                 } else {
                     self.base.for_each_keyed_entry_on(job, &mut |k, c, t, r| {
+                        pos_union |= c.positive_mask();
+                        neg_union |= c.negative_mask();
                         entries.push((k, c, t, r));
                     });
                 }
@@ -535,6 +620,8 @@ impl TableView for TableTxn<'_> {
                         job,
                         written: 0,
                         entries,
+                        pos_union,
+                        neg_union,
                     },
                 );
                 at
@@ -548,6 +635,8 @@ impl TableView for TableTxn<'_> {
         });
         let row = &mut self.rows[at];
         row.written += 1;
+        row.pos_union |= column.positive_mask();
+        row.neg_union |= column.negative_mask();
         match row.entries.binary_search_by_key(&key, |&(k, ..)| k) {
             Ok(slot) => {
                 let previous = row.entries[slot].2;
@@ -585,6 +674,93 @@ impl TableView for TableTxn<'_> {
                     entries += 1;
                     (k, c, t, r).hash(&mut hasher);
                     visit(k, c, t, r);
+                });
+                entries.hash(&mut hasher);
+                self.reads()
+                    .note_row_scan(job, std::hash::Hasher::finish(&hasher));
+            }
+        }
+    }
+
+    #[inline]
+    fn for_each_compatible_entry_on(
+        &self,
+        job: Job,
+        probe: &Cube,
+        visit: &mut dyn FnMut(u64, Cube, Time, Option<PeId>),
+    ) {
+        match self.overlay(job) {
+            Some(row) => {
+                // Same fast path as the indexed base row: when the merged
+                // row's union masks cannot exclude the probe, every entry is
+                // compatible and no cube is tested.
+                if probe.positive_mask() & row.neg_union == 0
+                    && probe.negative_mask() & row.pos_union == 0
+                {
+                    for &(key, column, time, resource) in &row.entries {
+                        visit(key, column, time, resource);
+                    }
+                } else {
+                    for &(key, column, time, resource) in &row.entries {
+                        if column.compatible(probe) {
+                            visit(key, column, time, resource);
+                        }
+                    }
+                }
+            }
+            None if !self.record_reads || self.reads().has_row_scan(job) => {
+                // Scan dependency already recorded (or never recorded):
+                // serve straight from the base's indexed scan.
+                self.base.for_each_compatible_entry_on(job, probe, visit);
+            }
+            None => {
+                // Which entries qualify is a function of the whole row, so
+                // the dependency is the full row fingerprint — recorded in
+                // the same pass that serves the scan, exactly like a keyed
+                // scan would.
+                let mut hasher = FrontierHasher::new();
+                let mut entries = 0u64;
+                self.base.for_each_keyed_entry_on(job, &mut |k, c, t, r| {
+                    entries += 1;
+                    (k, c, t, r).hash(&mut hasher);
+                    if c.compatible(probe) {
+                        visit(k, c, t, r);
+                    }
+                });
+                entries.hash(&mut hasher);
+                self.reads()
+                    .note_row_scan(job, std::hash::Hasher::finish(&hasher));
+            }
+        }
+    }
+
+    #[inline]
+    fn for_each_entry_at_on(
+        &self,
+        job: Job,
+        time: Time,
+        visit: &mut dyn FnMut(u64, Cube, Option<PeId>),
+    ) {
+        match self.overlay(job) {
+            Some(row) => {
+                for &(key, column, tabled, resource) in &row.entries {
+                    if tabled == time {
+                        visit(key, column, resource);
+                    }
+                }
+            }
+            None if !self.record_reads || self.reads().has_row_scan(job) => {
+                self.base.for_each_entry_at_on(job, time, visit);
+            }
+            None => {
+                let mut hasher = FrontierHasher::new();
+                let mut entries = 0u64;
+                self.base.for_each_keyed_entry_on(job, &mut |k, c, t, r| {
+                    entries += 1;
+                    (k, c, t, r).hash(&mut hasher);
+                    if t == time {
+                        visit(k, c, r);
+                    }
                 });
                 entries.hash(&mut hasher);
                 self.reads()

@@ -23,6 +23,11 @@
 //! 3. **Found schedules stay found** — the banked corpus under
 //!    `tests/corpus/race_schedules/` replays known bug-exposing schedules
 //!    against the sabotaged walk and asserts each is still detected.
+//! 4. **The partition index keeps the scan footprint** — the index-served
+//!    row scans (`for_each_compatible_entry_on`, `for_each_entry_at_on`)
+//!    race with an unordered row write on exactly the same row cell the
+//!    linear keyed scan raced on, and the banked corpus replays over the
+//!    indexed walk clean and bit-identical.
 //!
 //! Every test takes one shared lock: the sabotage switch is process-global,
 //! so a mutation test running concurrently with a cleanliness test would
@@ -33,6 +38,7 @@
 use std::sync::Mutex;
 
 use cpg_merge::sabotage;
+use cpg_table::TableView;
 use cps::prelude::*;
 use fj::race::{self, ExploreConfig, Mode, Report, Violation};
 
@@ -447,6 +453,125 @@ fn banked_racy_schedules_are_still_detected() {
             "corpus schedule {} flags the unmutated tree: {:?}",
             entry.name,
             clean.violations
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condition-partition index: happens-before footprint parity.
+// ---------------------------------------------------------------------------
+
+/// The walk's per-row scans are served by the condition-partition index, but
+/// their happens-before footprint must not narrow: an index-served probe
+/// still depends on the *whole* row (an unordered write anywhere in the row
+/// can change which entries the probe visits), so it must record the same
+/// row-level read the linear keyed scan recorded.
+///
+/// Proven by directed exploration: a scanning vthread races an
+/// unsynchronized sibling writing a cell of the scanned row, once per scan
+/// flavour. Every flavour must be flagged, and all on the same row cell —
+/// if an index-served scan under-recorded its reads, its exploration would
+/// come back clean.
+#[test]
+fn index_served_scans_race_with_row_writes_like_the_linear_scan() {
+    let _lock = lock();
+    let job = Job::Process(ProcessId::from_index(0));
+    let c0 = CondId::new(0);
+    let build = || {
+        let mut table = ScheduleTable::new();
+        table.set_on(job, Cube::top(), Time::new(1), None);
+        table.set_on(job, Cube::from(c0.is_true()), Time::new(4), None);
+        table
+    };
+
+    let race_cells = |scan: fn(&ScheduleTable, Job)| -> Vec<race::CellId> {
+        let report = race::explore(&ExploreConfig::exhaustive(64), || {
+            // Both tables are built by the exploration root, so the
+            // construction writes are fork-ordered before both children; the
+            // only unordered pair left is the child scan against the child
+            // write.
+            let table = build();
+            let mut writer = build();
+            fj::join_with_cost(
+                2,
+                1,
+                1,
+                |_| scan(&table, job),
+                // Through the trait: the shared-table write recording lives
+                // on `TableView::set_on` (the walk's dispatch path), not on
+                // the inherent method.
+                |_| {
+                    TableView::set_on(
+                        &mut writer,
+                        job,
+                        Cube::from(c0.is_false()),
+                        Time::new(9),
+                        None,
+                    );
+                },
+            );
+        });
+        let mut cells: Vec<race::CellId> = report
+            .violations
+            .iter()
+            .filter_map(|violation| match violation {
+                Violation::Race { cell, .. } => Some(*cell),
+                Violation::Protocol { .. } => None,
+            })
+            .collect();
+        cells.sort_unstable_by_key(|cell| (cell.kind, cell.a, cell.b));
+        cells.dedup();
+        cells
+    };
+
+    let linear = race_cells(|table, job| {
+        TableView::for_each_keyed_entry_on(table, job, &mut |_, _, _, _| {});
+    });
+    assert_eq!(
+        linear.len(),
+        1,
+        "the scan-vs-write conflict is exactly the row cell: {linear:?}"
+    );
+    let compatible = race_cells(|table, job| {
+        TableView::for_each_compatible_entry_on(table, job, &Cube::top(), &mut |_, _, _, _| {});
+    });
+    assert_eq!(
+        compatible, linear,
+        "the index-served compatibility scan must record the row read the linear scan recorded"
+    );
+    let at_time = race_cells(|table, job| {
+        TableView::for_each_entry_at_on(table, job, Time::new(4), &mut |_, _, _| {});
+    });
+    assert_eq!(
+        at_time, linear,
+        "the index-served time-bucket scan must record the row read the linear scan recorded"
+    );
+}
+
+/// The banked corpus schedules were recorded against the linear-scan walk;
+/// replayed over the index-served walk they must stay clean and reproduce
+/// the serial result bit-identically — the historical interleavings cannot
+/// tell the two scan implementations apart.
+#[test]
+fn banked_schedules_replay_identically_over_the_indexed_walk() {
+    let _lock = lock();
+    for entry in load_corpus() {
+        let (arch, cpg) = match entry.system.as_str() {
+            "diamond" => diamond_system(),
+            "overlapping_rows" => overlapping_rows_system(),
+            other => panic!("corpus entry {} names unknown system {other:?}", entry.name),
+        };
+        let reference = merge_at(&cpg, &arch, 1);
+        let threads = entry.threads;
+        let report = race::explore(&ExploreConfig::replay(entry.choices), || {
+            let explored = merge_at(&cpg, &arch, threads);
+            assert_identical(&reference, &explored, &entry.name);
+        });
+        assert!(
+            report.clean(),
+            "corpus schedule {} flags the indexed walk: {:?}",
+            entry.name,
+            report.violations
         );
     }
 }
