@@ -55,6 +55,7 @@
 
 mod baseline;
 mod config;
+mod error;
 mod merge;
 mod result;
 mod session;
@@ -63,10 +64,13 @@ pub use baseline::{condition_oblivious_baseline, BaselineResult};
 #[cfg(any(test, feature = "test-util"))]
 pub use config::with_env_var;
 pub use config::{threads_from_env, MergeConfig, SelectionPolicy};
+pub use error::{validate_system, MergeError};
 #[cfg(any(test, feature = "test-util"))]
 pub use merge::generate_schedule_table_cloning;
 #[cfg(any(test, feature = "test-util"))]
 pub use merge::sabotage;
-pub use merge::{generate_schedule_table, generate_schedule_table_for_tracks};
-pub use result::{MergeResult, MergeStats, MergeStep};
+pub use merge::{
+    generate_schedule_table, generate_schedule_table_for_tracks, try_generate_schedule_table,
+};
+pub use result::{MergeOutcome, MergeResult, MergeStats, MergeStep};
 pub use session::{MergeSession, ReuseStats};

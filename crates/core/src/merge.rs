@@ -55,45 +55,106 @@ use cpg_table::{ScheduleTable, TableTxn, TableView};
 use crate::config::{MergeConfig, SelectionPolicy};
 use crate::result::{MergeResult, MergeStats, MergeStep};
 
-/// Test-only fault injection: re-introduces the known commit-order bug of
-/// committing the back-branch speculation without validating its read set,
-/// so the race explorer can prove it detects the resulting stale commit
-/// (`tests/race_explorer.rs`). Engaging the switch returns a guard that
-/// restores the correct protocol on drop; the flag is process-global, so
-/// tests using it must serialize.
+/// Test-only fault injection: deliberately broken variants of the merge
+/// protocol, each proving a differential oracle non-vacuous. Every switch is
+/// an RAII guard (`engage()` sets a process-global flag, dropping the guard
+/// restores the correct protocol), so tests using one must serialize.
+///
+/// * [`SkipBackValidation`] — re-introduces the known commit-order bug of
+///   committing the back-branch speculation without validating its read set;
+///   caught by the race explorer (`tests/race_explorer.rs`).
+/// * [`InjectWalkPanic`] — panics at the top of the merge; caught by the
+///   no-panic oracle.
+/// * [`DirtyLockReuse`] — recycles a pooled back-branch lock set without
+///   clearing it, so stale locks from a previously walked branch leak into
+///   the new branch's placements; caught by the cloning-oracle differential
+///   (the oracle allocates a fresh lock set per back-step).
+/// * [`SkipSlipRepair`] — drops the Theorem-2 slip-repair loop *and* the
+///   slip observation, publishing stale intended times without marking them;
+///   caught by the reference-realizability oracle.
+/// * [`SkipSpliceValidation`] — replays cached session chains without
+///   validating their read sets; caught by the warm-vs-cold oracle.
+/// * [`SkipEntryValidation`] — drops the `validate_system` call from the
+///   `try_` entry points, accepting pathological systems; caught by the
+///   input-validation oracle.
 #[cfg(any(test, feature = "test-util"))]
 pub mod sabotage {
     use std::sync::atomic::{AtomicBool, Ordering};
 
-    static SKIP_BACK_VALIDATION: AtomicBool = AtomicBool::new(false);
+    macro_rules! switch {
+        ($(#[$doc:meta])* $flag:ident, $guard:ident, $probe:ident) => {
+            static $flag: AtomicBool = AtomicBool::new(false);
 
-    /// Guard that keeps the walk committing back-branch logs *without*
-    /// validation while alive.
-    #[derive(Debug)]
-    pub struct SkipBackValidation {
-        _not_send: std::marker::PhantomData<*const ()>,
-    }
-
-    impl SkipBackValidation {
-        /// Engages the fault; dropping the guard disengages it.
-        #[must_use]
-        pub fn engage() -> Self {
-            SKIP_BACK_VALIDATION.store(true, Ordering::SeqCst);
-            SkipBackValidation {
-                _not_send: std::marker::PhantomData,
+            $(#[$doc])*
+            #[derive(Debug)]
+            pub struct $guard {
+                _not_send: std::marker::PhantomData<*const ()>,
             }
-        }
+
+            impl $guard {
+                /// Engages the fault; dropping the guard disengages it.
+                #[must_use]
+                pub fn engage() -> Self {
+                    $flag.store(true, Ordering::SeqCst);
+                    $guard {
+                        _not_send: std::marker::PhantomData,
+                    }
+                }
+            }
+
+            impl Drop for $guard {
+                fn drop(&mut self) {
+                    $flag.store(false, Ordering::SeqCst);
+                }
+            }
+
+            pub(crate) fn $probe() -> bool {
+                $flag.load(Ordering::SeqCst)
+            }
+        };
     }
 
-    impl Drop for SkipBackValidation {
-        fn drop(&mut self) {
-            SKIP_BACK_VALIDATION.store(false, Ordering::SeqCst);
-        }
-    }
-
-    pub(crate) fn skip_back_validation() -> bool {
-        SKIP_BACK_VALIDATION.load(Ordering::SeqCst)
-    }
+    switch!(
+        /// Guard that keeps the walk committing back-branch logs *without*
+        /// validation while alive.
+        SKIP_BACK_VALIDATION,
+        SkipBackValidation,
+        skip_back_validation
+    );
+    switch!(
+        /// Guard that makes the merge panic on entry while alive.
+        INJECT_WALK_PANIC,
+        InjectWalkPanic,
+        inject_walk_panic
+    );
+    switch!(
+        /// Guard that keeps the serial walk recycling back-branch lock sets
+        /// without clearing their stale contents while alive.
+        DIRTY_LOCK_REUSE,
+        DirtyLockReuse,
+        dirty_lock_reuse
+    );
+    switch!(
+        /// Guard that skips the Theorem-2 slip-repair loop (and the slip
+        /// observation that gates the realizability sweep) while alive.
+        SKIP_SLIP_REPAIR,
+        SkipSlipRepair,
+        skip_slip_repair
+    );
+    switch!(
+        /// Guard that lets session replays splice cached chain logs without
+        /// read-set validation while alive.
+        SKIP_SPLICE_VALIDATION,
+        SkipSpliceValidation,
+        skip_splice_validation
+    );
+    switch!(
+        /// Guard that makes the `try_` entry points skip their
+        /// [`validate_system`](crate::validate_system) call while alive.
+        SKIP_ENTRY_VALIDATION,
+        SkipEntryValidation,
+        skip_entry_validation
+    );
 }
 
 /// Generates the schedule table of a conditional process graph.
@@ -185,6 +246,13 @@ fn generate_for_tracks_inner(
     tracks: TrackSet,
     walk: WalkKind,
 ) -> MergeResult {
+    // Mutation self-test hook: the no-panic oracle must flag a merge that
+    // dies instead of returning (tests/adversarial_corpus.rs).
+    #[cfg(any(test, feature = "test-util"))]
+    assert!(
+        !sabotage::inject_walk_panic(),
+        "sabotage: injected walk panic"
+    );
     let scheduler = ListScheduler::new(cpg, arch, config.broadcast_time());
     let threads = config.effective_threads();
     // One dense scheduling context per track, reused across the initial
@@ -255,12 +323,33 @@ fn generate_for_tracks_inner(
     // Adjustments that slipped fed the divergent entries back through the
     // Theorem-2 re-placement loop; whatever the repairs could not absorb
     // is what the final table still cannot realize. Replaying the table
-    // through the scheduler gives the exact surviving count (0 whenever
-    // no slip was ever observed, so the sweep is skipped then) — and the
+    // through the scheduler gives the exact surviving count — and the
     // replays themselves are the realized per-path schedules, so they are
     // kept instead of thrown away.
+    //
+    // The sweep must run whenever any back-step adjustment occurred, not
+    // only when a walk-time reschedule slipped: each adjustment validates
+    // one selected track against the table as it stood at that node, but
+    // the entries it places land in condition-compatible columns that also
+    // apply to sibling tracks never rescheduled against the final lock set.
+    // On graphs whose guards decouple a process from its expansion-derived
+    // communications (a supported structural edit), that gap produced
+    // tables with unhonourable activation times reported as `lock_slips:
+    // 0` — found by the adversarial fuzzer (`crates/fuzz`). With zero
+    // adjustments there is a single reachable track and the table is its
+    // own optimal schedule, so skipping the sweep is sound.
     let mut stats = state.stats;
-    let realized = if state.saw_slip {
+    #[allow(unused_mut)]
+    let mut run_sweep = state.saw_slip || stats.adjustments > 0;
+    // The slip-repair mutant models losing both the repair *and* the
+    // accounting, so it suppresses the sweep too — otherwise the sweep
+    // would honestly count the stale times and the mutant would be
+    // indistinguishable from a correct (if slow) merge.
+    #[cfg(any(test, feature = "test-util"))]
+    {
+        run_sweep = run_sweep && !sabotage::skip_slip_repair();
+    }
+    let realized = if run_sweep {
         let replays = shared.residual_replays(&table);
         stats.lock_slips = replays
             .iter()
@@ -283,7 +372,30 @@ fn generate_for_tracks_inner(
         delta_max,
         steps: state.steps,
         stats,
+        spec_discards: state.spec_discards,
     }
+}
+
+/// Variant of [`generate_schedule_table`] that validates the system first
+/// and returns a typed [`MergeError`](crate::MergeError) instead of hitting
+/// an index panic deep inside the scheduler on pathological inputs (see
+/// [`validate_system`](crate::validate_system) for the checks).
+pub fn try_generate_schedule_table(
+    cpg: &Cpg,
+    arch: &Architecture,
+    config: &MergeConfig,
+) -> Result<MergeResult, crate::MergeError> {
+    // Mutation self-test hook: accept pathological systems unchecked; the
+    // input-validation oracle must flag the disagreement with
+    // `validate_system` (tests/adversarial_corpus.rs).
+    #[cfg(any(test, feature = "test-util"))]
+    let checked = !sabotage::skip_entry_validation();
+    #[cfg(not(any(test, feature = "test-util")))]
+    let checked = true;
+    if checked {
+        crate::error::validate_system(cpg, arch)?;
+    }
+    Ok(generate_schedule_table(cpg, arch, config))
 }
 
 /// Outcome of placing one activation time into the table.
@@ -367,6 +479,11 @@ pub(crate) struct WalkState {
     /// `true` once any adjustment reported a slipped lock; gates the final
     /// realizability sweep that computes [`MergeStats::lock_slips`].
     pub(crate) saw_slip: bool,
+    /// Speculative subtree validations that failed and re-ran live. Kept out
+    /// of [`MergeStats`]: the count depends on the interleaving, so it is
+    /// excluded from the bit-identity contract (see
+    /// [`MergeResult::spec_discards`](crate::MergeResult::spec_discards)).
+    pub(crate) spec_discards: usize,
     /// Scratch arena for the scheduler runs of adjustments and repairs.
     scratch: RunScratch,
     /// Reusable buffers of the repair loops.
@@ -388,6 +505,7 @@ impl WalkState {
             steps: Vec::new(),
             stats: MergeStats::default(),
             saw_slip: false,
+            spec_discards: 0,
             scratch: RunScratch::new(),
             slip_buf: Vec::new(),
             stale_buf: Vec::new(),
@@ -407,6 +525,7 @@ impl WalkState {
         self.steps.extend(subtree.steps);
         self.stats.absorb(subtree.stats);
         self.saw_slip |= subtree.saw_slip;
+        self.spec_discards += subtree.spec_discards;
     }
 }
 
@@ -462,9 +581,19 @@ impl MergeShared<'_> {
             locks,
             out,
         );
+        // Mutation self-test hook: publish the stale intended times without
+        // repairing — or even observing — the slip, so the realizability
+        // sweep never runs and the table keeps activation times no
+        // dispatcher can honour. The reference-realizability oracle must
+        // catch the divergence (tests/adversarial_corpus.rs).
+        #[cfg(any(test, feature = "test-util"))]
+        if sabotage::skip_slip_repair() {
+            return;
+        }
         let mut rounds = 0;
         while !out.slipped_locks().is_empty() && rounds < SLIP_REPAIR_ROUNDS {
             state.saw_slip = true;
+            state.stats.repair_rounds += 1;
             let mut slips = std::mem::take(&mut state.slip_buf);
             slips.clear();
             slips.extend_from_slice(out.slipped_locks());
@@ -754,8 +883,11 @@ impl MergeShared<'_> {
                         .expect("a condition resolved on a path appears in its label");
 
                     // Continue with the same schedule: the condition takes
-                    // the value of the current path (no back-step).
+                    // the value of the current path (no back-step). The
+                    // node's depth counts the resolved condition, not yet
+                    // assigned here.
                     state.stats.tree_nodes += 1;
+                    state.stats.max_walk_depth = state.stats.max_walk_depth.max(decided.len() + 1);
                     if trace {
                         state.steps.push(MergeStep {
                             decided: decided.to_cube(),
@@ -806,11 +938,25 @@ impl MergeShared<'_> {
                         .lock_pool
                         .pop()
                         .unwrap_or_else(|| LockSet::for_graph(self.cpg));
+                    // Mutation self-test hook: recycle the pooled set with
+                    // its stale contents, so locks of a previously walked
+                    // branch leak into this branch's placements. The cloning
+                    // oracle allocates a fresh set per back-step, so the
+                    // differential suite must flag the divergence
+                    // (tests/adversarial_corpus.rs).
+                    #[cfg(any(test, feature = "test-util"))]
+                    if !sabotage::dirty_lock_reuse() {
+                        locks.clear();
+                    }
+                    #[cfg(not(any(test, feature = "test-util")))]
                     locks.clear();
                     self.locks_from_table_into(view, &mut locks, new_idx, decided, condition);
                     let mut adjusted = state.schedule_pool.pop().unwrap_or_default();
                     self.adjust_into(state, view, new_idx, &mut locks, decided, &mut adjusted);
+                    // `decided` already carries the flipped condition, so the
+                    // depth is its plain length.
                     state.stats.tree_nodes += 1;
+                    state.stats.max_walk_depth = state.stats.max_walk_depth.max(decided.len());
                     state.stats.adjustments += 1;
                     if trace {
                         state.steps.push(MergeStep {
@@ -893,6 +1039,7 @@ impl MergeShared<'_> {
             .expect("a condition resolved on a path appears in its label");
         let node_cube = decided.to_cube();
         state.stats.tree_nodes += 1;
+        state.stats.max_walk_depth = state.stats.max_walk_depth.max(decided.len() + 1);
         if self.config.trace() {
             state.steps.push(MergeStep {
                 decided: node_cube,
@@ -982,6 +1129,7 @@ impl MergeShared<'_> {
             // Stale speculation: drop the whole attempt (writes, counters
             // and steps alike) and re-run the branch against the committed
             // table, handing it the node's full budget.
+            state.spec_discards += 1;
             drop(back_state);
             self.back_branch(
                 state,
@@ -1021,7 +1169,9 @@ impl MergeShared<'_> {
         self.locks_from_table_into(view, &mut locks, back_idx, decided, condition);
         let mut adjusted = state.schedule_pool.pop().unwrap_or_default();
         self.adjust_into(state, view, back_idx, &mut locks, decided, &mut adjusted);
+        // `decided` already carries the flipped condition (depth = length).
         state.stats.tree_nodes += 1;
+        state.stats.max_walk_depth = state.stats.max_walk_depth.max(decided.len());
         state.stats.adjustments += 1;
         if self.config.trace() {
             state.steps.push(MergeStep {
@@ -1179,6 +1329,7 @@ impl MergeShared<'_> {
         // Continue with the same schedule: the condition takes the value of
         // the current path (no back-step).
         state.stats.tree_nodes += 1;
+        state.stats.max_walk_depth = state.stats.max_walk_depth.max(decided.len() + 1);
         if trace {
             state.steps.push(MergeStep {
                 decided: decided.to_cube(),
@@ -1203,6 +1354,7 @@ impl MergeShared<'_> {
         self.locks_from_table_into(view, &mut locks, new_idx, &decided_back, condition);
         let adjusted = self.adjust(state, view, new_idx, &mut locks, &decided_back);
         state.stats.tree_nodes += 1;
+        state.stats.max_walk_depth = state.stats.max_walk_depth.max(decided_back.len());
         state.stats.adjustments += 1;
         if trace {
             state.steps.push(MergeStep {

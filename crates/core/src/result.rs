@@ -56,6 +56,16 @@ pub struct MergeStats {
     /// a non-zero value means the final table still contains activation
     /// times no run-time scheduler can honour.
     pub lock_slips: usize,
+    /// Deepest decision-tree node visited, counted in decided conditions
+    /// (the root sits at depth 0, so a node that resolves the first
+    /// condition is at depth 1). A structural property of the explored
+    /// tree: identical for every thread count and for warm re-merges.
+    pub max_walk_depth: usize,
+    /// Total iterations of the Theorem-2 slip-repair loop across all
+    /// adjustments (each round re-places every slipped entry once). Bounded
+    /// by `adjustments * SLIP_REPAIR_ROUNDS`; a high value relative to
+    /// [`MergeStats::adjustments`] marks cascading slip repair.
+    pub repair_rounds: usize,
 }
 
 impl MergeStats {
@@ -69,10 +79,54 @@ impl MergeStats {
         self.unrepaired_conflicts += other.unrepaired_conflicts;
         self.slip_repairs += other.slip_repairs;
         self.lock_slips += other.lock_slips;
+        // Depth is a maximum, not a sum: absorbing subtree partials in any
+        // order reconstructs the same value as a serial walk.
+        self.max_walk_depth = self.max_walk_depth.max(other.max_walk_depth);
+        self.repair_rounds += other.repair_rounds;
     }
 }
 
+/// Whether the generated table honours the paper's requirement 2.
+///
+/// Requirement 2 demands that every activation time written into the table
+/// is one the run-time dispatcher can realize on every path the entry
+/// applies to. The merge repairs violations as it goes (the Theorem-2 loop
+/// and slip repair), so for well-formed inputs the outcome is
+/// [`Realizable`](MergeOutcome::Realizable); a
+/// [`Degraded`](MergeOutcome::Degraded) outcome means the table is still a
+/// valid worst-case bound but contains activation times some path cannot
+/// meet exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MergeOutcome {
+    /// Every tabled activation time is realizable on every applicable path.
+    Realizable,
+    /// The table violates requirement 2: some conflicts could not be
+    /// repaired by re-placement and/or some activation times survived slip
+    /// repair unrealized.
+    Degraded {
+        /// [`MergeStats::unrepaired_conflicts`] of the merge.
+        unrepaired_conflicts: usize,
+        /// [`MergeStats::lock_slips`] of the merge.
+        lock_slips: usize,
+    },
+}
+
 /// The output of [`generate_schedule_table`](crate::generate_schedule_table).
+///
+/// # Requirement-2 contract
+///
+/// The paper's requirement 2 (an activation time stored in the table must be
+/// realizable by the dispatcher on every path it applies to) is a *repaired*
+/// invariant, not an assumed one: conflicts are re-placed through the
+/// Theorem-2 loop and slipped locks are repaired in-column until none
+/// survive. Callers that need the strict guarantee must check
+/// [`MergeResult::outcome`] (or [`MergeResult::ensure_realizable`]) instead
+/// of assuming it — pathological inputs can exhaust the repair loop, and the
+/// merge then *returns* the degraded table (with
+/// [`MergeStats::unrepaired_conflicts`] / [`MergeStats::lock_slips`]
+/// non-zero) rather than panicking, because the table is still a correct
+/// worst-case-delay bound.
 #[derive(Debug, Clone)]
 pub struct MergeResult {
     pub(crate) table: ScheduleTable,
@@ -82,6 +136,7 @@ pub struct MergeResult {
     pub(crate) delta_max: Time,
     pub(crate) steps: Vec<MergeStep>,
     pub(crate) stats: MergeStats,
+    pub(crate) spec_discards: usize,
 }
 
 impl MergeResult {
@@ -168,6 +223,48 @@ impl MergeResult {
         self.stats
     }
 
+    /// Speculative subtree validations that failed and forced a re-run
+    /// against the live table.
+    ///
+    /// Unlike [`stats`](Self::stats) this is **scheduling-dependent**: it is
+    /// always 0 at one thread and varies with the interleaving at higher
+    /// thread counts, so it is deliberately kept out of [`MergeStats`] and
+    /// excluded from the bit-identity contract the differential suites
+    /// check.
+    #[must_use]
+    pub fn spec_discards(&self) -> usize {
+        self.spec_discards
+    }
+
+    /// Whether the table honours requirement 2 (see the type-level docs).
+    #[must_use]
+    pub fn outcome(&self) -> MergeOutcome {
+        if self.stats.unrepaired_conflicts == 0 && self.stats.lock_slips == 0 {
+            MergeOutcome::Realizable
+        } else {
+            MergeOutcome::Degraded {
+                unrepaired_conflicts: self.stats.unrepaired_conflicts,
+                lock_slips: self.stats.lock_slips,
+            }
+        }
+    }
+
+    /// Errors with [`MergeError::UnrepairedConflicts`] unless the outcome is
+    /// [`MergeOutcome::Realizable`].
+    ///
+    /// [`MergeError::UnrepairedConflicts`]: crate::MergeError::UnrepairedConflicts
+    pub fn ensure_realizable(&self) -> Result<(), crate::MergeError> {
+        match self.outcome() {
+            MergeOutcome::Realizable => Ok(()),
+            MergeOutcome::Degraded {
+                unrepaired_conflicts,
+                lock_slips,
+            } => Err(crate::MergeError::UnrepairedConflicts {
+                count: unrepaired_conflicts + lock_slips,
+            }),
+        }
+    }
+
     /// The delay of each alternative path under the *generated table* (as
     /// opposed to its individual optimal schedule), in track order.
     #[must_use]
@@ -209,6 +306,7 @@ mod tests {
             delta_max: Time::new(107),
             steps: Vec::new(),
             stats: MergeStats::default(),
+            spec_discards: 0,
         };
         assert!((result.overhead_percent() - 7.0).abs() < 1e-9);
         assert!(!result.is_zero_overhead());
@@ -227,6 +325,7 @@ mod tests {
             delta_max: Time::ZERO,
             steps: Vec::new(),
             stats: MergeStats::default(),
+            spec_discards: 0,
         };
         assert_eq!(result.overhead_percent(), 0.0);
         assert!(result.is_zero_overhead());

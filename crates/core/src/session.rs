@@ -280,6 +280,13 @@ impl Rewalk<'_> {
                 let steps_before = st.steps.len();
                 let slip_outer = st.saw_slip;
                 st.saw_slip = false;
+                // Depth reached by this segment's own node bookkeeping.
+                // Depths are absolute (decided conditions at the node), so
+                // caching the per-segment maximum — instead of the delta the
+                // counter subtraction below would give — lets a replay absorb
+                // it by `max` in any order and still reconstruct the cold
+                // walk's value exactly.
+                let mut seg_depth = 0;
 
                 if first {
                     first = false;
@@ -302,7 +309,10 @@ impl Rewalk<'_> {
                             decided,
                             &mut schedule,
                         );
+                        // `decided` already carries the flipped condition
+                        // (depth = length).
                         st.stats.tree_nodes += 1;
+                        seg_depth = seg_depth.max(decided.len());
                         st.stats.adjustments += 1;
                         if self.trace {
                             st.steps.push(MergeStep {
@@ -327,7 +337,10 @@ impl Rewalk<'_> {
                     let value = label
                         .polarity_of(condition)
                         .expect("a condition resolved on a path appears in its label");
+                    // The resolved condition is assigned below, after the
+                    // segment closes (depth = length + 1).
                     st.stats.tree_nodes += 1;
+                    seg_depth = seg_depth.max(decided.len() + 1);
                     if self.trace {
                         st.steps.push(MergeStep {
                             decided: decided.to_cube(),
@@ -340,8 +353,13 @@ impl Rewalk<'_> {
                     (condition, value, resolved_at)
                 });
 
+                st.stats.max_walk_depth = st.stats.max_walk_depth.max(seg_depth);
+                let mut seg_stats = stats_delta(stats_before, st.stats);
+                // Replace the meaningless max-delta with the segment's own
+                // absolute maximum (see `seg_depth` above).
+                seg_stats.max_walk_depth = seg_depth;
                 segs.push(ChainSeg {
-                    stats: stats_delta(stats_before, st.stats),
+                    stats: seg_stats,
                     steps: st.steps[steps_before..].to_vec(),
                     saw_slip: st.saw_slip,
                     resolution,
@@ -446,7 +464,13 @@ impl Rewalk<'_> {
             // serial entry point, so it validates directly against the
             // rebuilt table. A failed validation leaves the table untouched
             // and the caller re-records from the chain's entry state.
-            if !chain.log.validate(&*view) {
+            let valid = chain.log.validate(&*view);
+            // Mutation self-test hook: splice the stale cached chain anyway.
+            // The warm-vs-cold oracle must flag the diverging re-merge
+            // (tests/adversarial_corpus.rs).
+            #[cfg(any(test, feature = "test-util"))]
+            let valid = valid || crate::merge::sabotage::skip_splice_validation();
+            if !valid {
                 return false;
             }
             view.splice_log(&chain.log);
@@ -639,6 +663,7 @@ impl Rewalk<'_> {
                 st.absorb_output(child_state);
                 children[task.index] = Some(chain);
             } else {
+                st.spec_discards += 1;
                 drop(child_state);
                 // The speculation consumed the cached subtree: wherever its
                 // output replayed the cache, the dropped writes are last
@@ -664,6 +689,10 @@ impl Rewalk<'_> {
 }
 
 /// Field-wise difference of two counter snapshots (`after - before`).
+///
+/// Meaningful for the summable counters only: `max_walk_depth` is a running
+/// maximum, so [`record_chain`](Rewalk::record_chain) overwrites it with the
+/// segment's absolute maximum after taking the delta.
 fn stats_delta(before: MergeStats, after: MergeStats) -> MergeStats {
     MergeStats {
         tree_nodes: after.tree_nodes - before.tree_nodes,
@@ -672,6 +701,8 @@ fn stats_delta(before: MergeStats, after: MergeStats) -> MergeStats {
         unrepaired_conflicts: after.unrepaired_conflicts - before.unrepaired_conflicts,
         slip_repairs: after.slip_repairs - before.slip_repairs,
         lock_slips: after.lock_slips - before.lock_slips,
+        max_walk_depth: after.max_walk_depth - before.max_walk_depth,
+        repair_rounds: after.repair_rounds - before.repair_rounds,
     }
 }
 
@@ -978,7 +1009,18 @@ impl MergeSession {
         );
 
         let mut stats = state.stats;
-        let realized = if state.saw_slip {
+        // Same sweep condition as the cold path: any back-step adjustment
+        // may have published entries into columns applicable to tracks that
+        // were never rescheduled against the final lock set, so observing no
+        // walk-time slip does not prove the table realizable. (And the same
+        // slip-repair mutant bypass — see `merge`.)
+        #[allow(unused_mut)]
+        let mut run_sweep = state.saw_slip || stats.adjustments > 0;
+        #[cfg(any(test, feature = "test-util"))]
+        {
+            run_sweep = run_sweep && !crate::merge::sabotage::skip_slip_repair();
+        }
+        let realized = if run_sweep {
             // Same realizability sweep as the cold path
             // ([`MergeShared::residual_replays`]), with a per-track replay
             // cache: the replay is a function of the track's optimal schedule
@@ -1103,7 +1145,40 @@ impl MergeSession {
             delta_max,
             steps: state.steps,
             stats,
+            spec_discards: state.spec_discards,
         }
+    }
+
+    /// Variant of [`MergeSession::new`] that validates the system first and
+    /// returns a typed [`MergeError`](crate::MergeError) instead of hitting
+    /// an index panic on the first merge of a pathological input (see
+    /// [`validate_system`](crate::validate_system) for the checks).
+    pub fn try_new(
+        cpg: &Cpg,
+        arch: &Architecture,
+        config: &MergeConfig,
+    ) -> Result<Self, crate::MergeError> {
+        // Same entry-validation mutant bypass as
+        // [`try_generate_schedule_table`](crate::try_generate_schedule_table).
+        #[cfg(any(test, feature = "test-util"))]
+        let checked = !crate::merge::sabotage::skip_entry_validation();
+        #[cfg(not(any(test, feature = "test-util")))]
+        let checked = true;
+        if checked {
+            crate::error::validate_system(cpg, arch)?;
+        }
+        Ok(MergeSession::new(cpg, arch, config))
+    }
+
+    /// Variant of [`merge`](Self::merge) that re-validates the (edited)
+    /// system before walking. [`apply_edit`](Self::apply_edit) keeps a
+    /// well-formed system well-formed, but a session built with
+    /// [`MergeSession::new`] on unvalidated input — or one whose
+    /// architecture the caller constructed smaller than the graph's mappings
+    /// — fails here with a typed error instead of panicking mid-walk.
+    pub fn try_merge(&mut self) -> Result<MergeResult, crate::MergeError> {
+        crate::error::validate_system(&self.cpg, &self.arch)?;
+        Ok(self.merge())
     }
 }
 

@@ -1,0 +1,236 @@
+//! The merger's behavior vector and the novelty archive over its quantized
+//! signatures.
+
+use std::collections::HashSet;
+
+use cpg_merge::{MergeError, MergeOutcome, MergeResult};
+
+/// Length of a quantized [`Signature`].
+pub const SIGNATURE_LEN: usize = 12;
+
+/// A quantized behavior signature: every counter of the behavior vector,
+/// log2-bucketed. Two runs with the same signature exercised the merger "the
+/// same way" for the fuzzer's purposes.
+pub type Signature = [u8; SIGNATURE_LEN];
+
+/// What one merge did, counted — the fuzzer's coverage signal.
+///
+/// The vector is built from [`MergeStats`](cpg_merge::MergeStats) of the
+/// deterministic single-threaded baseline merge (so signatures are
+/// reproducible anywhere), plus the typed-rejection discriminant for inputs
+/// the merger refuses, the outcome degradation flag, and the
+/// speculative-validation discard count observed across the multi-threaded
+/// oracle runs. The discard count is scheduling-dependent and therefore kept
+/// out of [`signature`](BehaviorVector::signature); it still steers the
+/// in-process novelty search via [`search_key`](BehaviorVector::search_key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BehaviorVector {
+    /// Discriminant of the typed [`MergeError`] rejection (0 = accepted).
+    pub rejection: u8,
+    /// `true` when the merge finished with a degraded [`MergeOutcome`].
+    pub degraded: bool,
+    /// Decision-tree nodes visited.
+    pub tree_nodes: usize,
+    /// Activation times adjusted into the table.
+    pub adjustments: usize,
+    /// Determinism conflicts repaired via Theorem 2.
+    pub conflicts_repaired: usize,
+    /// Conflicts left unrepaired.
+    pub unrepaired_conflicts: usize,
+    /// Lock slips repaired by the slip-correcting pipeline.
+    pub slip_repairs: usize,
+    /// Lock slips surviving in the final table.
+    pub lock_slips: usize,
+    /// Deepest decision-tree node reached, in decided conditions.
+    pub max_walk_depth: usize,
+    /// Total Theorem-2 repair-loop iterations.
+    pub repair_rounds: usize,
+    /// Alternative paths of the merged system.
+    pub tracks: usize,
+    /// Speculative subtree walks discarded after validation, maximized over
+    /// the multi-threaded oracle runs (scheduling-dependent; excluded from
+    /// the deterministic signature).
+    pub spec_discards: usize,
+}
+
+impl BehaviorVector {
+    /// The vector of a completed merge.
+    #[must_use]
+    pub fn from_result(result: &MergeResult) -> Self {
+        let stats = result.stats();
+        BehaviorVector {
+            rejection: 0,
+            degraded: !matches!(result.outcome(), MergeOutcome::Realizable),
+            tree_nodes: stats.tree_nodes,
+            adjustments: stats.adjustments,
+            conflicts_repaired: stats.conflicts_repaired,
+            unrepaired_conflicts: stats.unrepaired_conflicts,
+            slip_repairs: stats.slip_repairs,
+            lock_slips: stats.lock_slips,
+            max_walk_depth: stats.max_walk_depth,
+            repair_rounds: stats.repair_rounds,
+            tracks: result.tracks().len(),
+            spec_discards: result.spec_discards(),
+        }
+    }
+
+    /// The vector of a typed input rejection: every counter zero, the
+    /// rejection discriminant set. Each [`MergeError`] variant is its own
+    /// behavior — the fuzzer keeps one corpus representative per rejection
+    /// path.
+    #[must_use]
+    pub fn from_rejection(error: &MergeError) -> Self {
+        let rejection = match error {
+            MergeError::EmptyGraph => 1,
+            MergeError::ZeroResourceSystem => 2,
+            MergeError::UnmappedProcess { .. } => 3,
+            MergeError::DanglingProcessingElement { .. } => 4,
+            MergeError::ProcessOnWrongElement { .. } => 5,
+            MergeError::DanglingCondition { .. } => 6,
+            MergeError::CyclicDependency => 7,
+            MergeError::UnrepairedConflicts { .. } => 8,
+            _ => 9,
+        };
+        BehaviorVector {
+            rejection,
+            degraded: false,
+            tree_nodes: 0,
+            adjustments: 0,
+            conflicts_repaired: 0,
+            unrepaired_conflicts: 0,
+            slip_repairs: 0,
+            lock_slips: 0,
+            max_walk_depth: 0,
+            repair_rounds: 0,
+            tracks: 0,
+            spec_discards: 0,
+        }
+    }
+
+    /// The deterministic quantized signature: rejection discriminant,
+    /// degradation flag, then every counter log2-bucketed. Reproducible on
+    /// any machine and thread count — corpus distinctness is defined over
+    /// these.
+    #[must_use]
+    pub fn signature(&self) -> Signature {
+        [
+            self.rejection,
+            u8::from(self.degraded),
+            bucket(self.tree_nodes),
+            bucket(self.adjustments),
+            bucket(self.conflicts_repaired),
+            bucket(self.unrepaired_conflicts),
+            bucket(self.slip_repairs),
+            bucket(self.lock_slips),
+            bucket(self.max_walk_depth),
+            bucket(self.repair_rounds),
+            bucket(self.tracks),
+            0,
+        ]
+    }
+
+    /// The in-process novelty key: the signature plus the bucketed
+    /// speculative-discard count. Richer than [`signature`]
+    /// (BehaviorVector::signature) but scheduling-dependent, so it only
+    /// steers the search and never defines corpus identity.
+    #[must_use]
+    pub fn search_key(&self) -> Signature {
+        let mut key = self.signature();
+        key[SIGNATURE_LEN - 1] = bucket(self.spec_discards);
+        key
+    }
+}
+
+/// Log2 bucket: 0 for 0, else `floor(log2(value)) + 1`. Collapses "343 vs
+/// 401 tree nodes" while separating orders of magnitude.
+fn bucket(value: usize) -> u8 {
+    if value == 0 {
+        0
+    } else {
+        (usize::BITS - value.leading_zeros()) as u8
+    }
+}
+
+/// A set of behavior signatures already seen; workloads whose vector lands
+/// in a fresh cell are retained for further mutation.
+#[derive(Debug, Default)]
+pub struct NoveltyArchive {
+    seen: HashSet<Signature>,
+}
+
+impl NoveltyArchive {
+    /// An empty archive.
+    #[must_use]
+    pub fn new() -> Self {
+        NoveltyArchive::default()
+    }
+
+    /// Records the vector's search key; `true` when it was novel.
+    pub fn observe(&mut self, vector: &BehaviorVector) -> bool {
+        self.seen.insert(vector.search_key())
+    }
+
+    /// Number of distinct behavior cells seen.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// `true` when nothing has been observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert_eq!(bucket(1023), 10);
+        assert_eq!(bucket(1024), 11);
+    }
+
+    #[test]
+    fn rejections_occupy_distinct_cells() {
+        let mut archive = NoveltyArchive::new();
+        use cpg::{CondId, ProcessId};
+        let errors = [
+            MergeError::EmptyGraph,
+            MergeError::ZeroResourceSystem,
+            MergeError::UnmappedProcess {
+                process: ProcessId::from_index(0),
+            },
+            MergeError::DanglingProcessingElement {
+                process: ProcessId::from_index(0),
+                pe: 7,
+            },
+            MergeError::DanglingCondition {
+                condition: CondId::new(1),
+            },
+            MergeError::CyclicDependency,
+        ];
+        for error in &errors {
+            assert!(archive.observe(&BehaviorVector::from_rejection(error)));
+        }
+        assert_eq!(archive.len(), errors.len());
+        assert!(!archive.observe(&BehaviorVector::from_rejection(&MergeError::EmptyGraph)));
+    }
+
+    #[test]
+    fn spec_discards_steer_search_but_not_identity() {
+        let mut a = BehaviorVector::from_rejection(&MergeError::EmptyGraph);
+        let mut b = a;
+        a.spec_discards = 0;
+        b.spec_discards = 9;
+        assert_eq!(a.signature(), b.signature());
+        assert_ne!(a.search_key(), b.search_key());
+    }
+}

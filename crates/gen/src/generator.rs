@@ -29,6 +29,12 @@ pub struct GeneratedSystem {
 }
 
 impl GeneratedSystem {
+    /// Assembles a system from already-generated (and possibly mutated)
+    /// parts. Used by the mutation operators in [`crate::mutate`].
+    pub(crate) fn from_parts(arch: Architecture, cpg: Cpg, config: GeneratorConfig) -> Self {
+        GeneratedSystem { arch, cpg, config }
+    }
+
     /// The target architecture (1–11 programmable processors, one ASIC and
     /// 1–8 buses, following the paper's experimental setup).
     #[must_use]
@@ -88,6 +94,33 @@ pub fn architecture(processors: usize, buses: usize) -> Architecture {
 /// paper's experiments fits comfortably).
 #[must_use]
 pub fn generate(config: &GeneratorConfig) -> GeneratedSystem {
+    let (arch, cpg) = generate_unexpanded(config);
+    let cpg = expand_communications(&cpg, &arch, BusPolicy::RoundRobin)
+        .expect("generated graphs expand cleanly");
+    debug_assert_eq!(enumerate_tracks(&cpg).len(), config.target_paths());
+
+    GeneratedSystem {
+        arch,
+        cpg,
+        config: config.clone(),
+    }
+}
+
+/// Generates the random system of [`generate`] but stops *before*
+/// communication expansion, returning the architecture and the unexpanded
+/// graph (ordinary processes and dummies only).
+///
+/// This is the substrate the mutation operators of [`crate::mutate`] replay
+/// through a fresh [`CpgBuilder`]: user processes keep their creation-order
+/// ids and the builder re-appends the dummy source/sink after them, so edits
+/// expressed against the unexpanded graph are stable across
+/// re-materializations of the same workload.
+///
+/// # Panics
+///
+/// Panics under the same node-budget condition as [`generate`].
+#[must_use]
+pub fn generate_unexpanded(config: &GeneratorConfig) -> (Architecture, Cpg) {
     let mut rng = StdRng::seed_from_u64(config.seed());
     let arch = architecture(config.processors(), config.buses());
     let computation: Vec<PeId> = arch.computation_elements().collect();
@@ -134,15 +167,7 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedSystem {
     let cpg = builder
         .build(&arch)
         .expect("generated graphs are structurally valid");
-    let cpg = expand_communications(&cpg, &arch, BusPolicy::RoundRobin)
-        .expect("generated graphs expand cleanly");
-    debug_assert_eq!(enumerate_tracks(&cpg).len(), config.target_paths());
-
-    GeneratedSystem {
-        arch,
-        cpg,
-        config: config.clone(),
-    }
+    (arch, cpg)
 }
 
 /// Number of skeleton processes needed by a stage with `k` alternative paths:

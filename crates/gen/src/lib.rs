@@ -32,6 +32,10 @@
 
 mod config;
 mod generator;
+mod mutate;
 
 pub use config::{paper_suite, ExecTimeDistribution, GeneratorConfig};
-pub use generator::{architecture, generate, generate_paper_suite, GeneratedSystem};
+pub use generator::{
+    architecture, generate, generate_paper_suite, generate_unexpanded, GeneratedSystem,
+};
+pub use mutate::{system_fingerprint, EditOp, MaterializeError, Workload, WorkloadOp};

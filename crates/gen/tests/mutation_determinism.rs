@@ -1,0 +1,100 @@
+//! Property: workload generation and mutation are fully seed-deterministic.
+//!
+//! The adversarial corpus stores workloads (configuration + mutation ops),
+//! never materialized graphs, so replaying an offender years later must
+//! reproduce the exact same merge input. The double-run checks below pin
+//! that contract: materializing the same workload twice — including every
+//! mutation operator over arbitrary `u64` payloads — yields bit-identical
+//! systems (equal fingerprints) or the identical benign rejection.
+
+use proptest::prelude::*;
+
+use cpg_gen::{generate, system_fingerprint, GeneratorConfig, Workload, WorkloadOp};
+
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (24usize..48, 1usize..8, 1usize..5, 1usize..3, any::<u64>()).prop_map(
+        |(nodes, paths, processors, buses, seed)| {
+            GeneratorConfig::new(nodes, paths)
+                .with_processors(processors)
+                .with_buses(buses)
+                .with_seed(seed)
+        },
+    )
+}
+
+fn op_strategy() -> impl Strategy<Value = WorkloadOp> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(kind, a, b, c)| {
+        match kind % 8 {
+            0 => WorkloadOp::ExecTime {
+                slot: a,
+                units: b % 1000,
+            },
+            1 => WorkloadOp::Remap {
+                slot: a,
+                pe_slot: b,
+            },
+            2 => WorkloadOp::SqueezeProcessors { processors: a % 6 },
+            3 => WorkloadOp::SqueezeBuses { buses: a % 4 },
+            4 => WorkloadOp::DropProcessingElements { keep: a },
+            5 => WorkloadOp::AddDependency {
+                from_slot: a,
+                to_slot: b,
+                comm: c,
+            },
+            6 => WorkloadOp::RemoveDependency { slot: a },
+            _ => WorkloadOp::RenestGuard {
+                slot: a,
+                cond_slot: b,
+                value: c % 2 == 0,
+            },
+        }
+    })
+}
+
+proptest! {
+    // Pinned case count and shrink budget: CI runs must be deterministic and
+    // fast regardless of PROPTEST_CASES / PROPTEST_MAX_SHRINK_ITERS in the
+    // environment.
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn generation_is_seed_deterministic(config in config_strategy()) {
+        let a = generate(&config);
+        let b = generate(&config);
+        prop_assert_eq!(system_fingerprint(&a), system_fingerprint(&b));
+    }
+
+    #[test]
+    fn mutated_workloads_rematerialize_identically(
+        config in config_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 0..12),
+    ) {
+        let mut workload = Workload::new(config);
+        workload.ops = ops;
+        let first = workload.materialize();
+        let second = workload.materialize();
+        match (first, second) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(system_fingerprint(&a), system_fingerprint(&b));
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(
+                false,
+                "double materialization diverged: {:?} vs {:?}",
+                a.map(|s| system_fingerprint(&s)),
+                b.map(|s| system_fingerprint(&s)),
+            ),
+        }
+    }
+
+    #[test]
+    fn op_token_encoding_round_trips(ops in proptest::collection::vec(op_strategy(), 0..12)) {
+        let mut workload = Workload::new(GeneratorConfig::new(24, 2).with_seed(1));
+        workload.ops = ops;
+        prop_assert_eq!(Workload::parse_ops(&workload.encode_ops()), Some(workload.ops));
+    }
+}

@@ -1,0 +1,16 @@
+// A replay suite whose corpus references are stale: one directory was
+// never committed and one exists but holds no entries. The lint resolves
+// the literals against a fixture root the test builds at runtime (an empty
+// directory cannot be committed to git). Only the first reference is fine.
+
+fn corpus_paths() -> Vec<&'static str> {
+    vec![
+        "tests/corpus/populated",
+        "tests/corpus/never_committed",
+        "tests/corpus/empty_bank",
+    ]
+}
+
+fn main() {
+    let _ = corpus_paths();
+}

@@ -20,10 +20,14 @@
 //!   in `bench_guard` matches a benchmark group that actually exists in
 //!   `crates/bench/benches/`, so the regression gate can never silently
 //!   gate nothing.
+//! - **corpus-dir** — every string literal naming a path under
+//!   `tests/corpus/` resolves to something that exists, and a referenced
+//!   directory is non-empty, so a replay suite whose corpus was renamed or
+//!   never committed cannot pass vacuously.
 //!
 //! The scanner is deliberately not a parser: [`scan`] strips comments and
 //! string literals (preserving byte offsets), and the rules work on the
-//! masked code with brace matching. That is exact enough for the five
+//! masked code with brace matching. That is exact enough for the six
 //! invariants above and keeps the crate dependency-free.
 
 #![forbid(unsafe_code)]
@@ -43,6 +47,8 @@ pub const RULE_ENV_VAR: &str = "env-var-outside-config";
 pub const RULE_HOT_PATH: &str = "hot-path-alloc";
 /// Rule identifier for the bench-guard prefix existence check.
 pub const RULE_BENCH_PREFIX: &str = "bench-prefix";
+/// Rule identifier for the corpus-path existence check.
+pub const RULE_CORPUS_DIR: &str = "corpus-dir";
 
 /// The comment marker that puts the next function under [`RULE_HOT_PATH`].
 /// A line comment whose (trimmed) text starts with this string marks the
@@ -647,6 +653,49 @@ pub fn check_bench_prefixes(
     findings
 }
 
+/// Rule `corpus-dir`: every string literal naming a path under
+/// `tests/corpus/` must resolve, relative to the workspace root, to
+/// something that exists — and a referenced directory must be non-empty.
+/// Replay suites enumerate their corpus directory at runtime; without this
+/// check, a renamed or never-committed corpus makes them pass vacuously
+/// (or fail far from the cause) instead of failing the lint pass.
+#[must_use]
+pub fn check_corpus_dirs(file: &str, scanned: &Scanned, root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for lit in &scanned.strings {
+        if !lit.text.starts_with("tests/corpus/") {
+            continue;
+        }
+        let target = root.join(&lit.text);
+        if !target.exists() {
+            findings.push(Finding {
+                rule: RULE_CORPUS_DIR,
+                file: file.to_string(),
+                line: lit.line,
+                message: format!(
+                    "corpus path {:?} does not exist under the workspace root",
+                    lit.text
+                ),
+            });
+        } else if target.is_dir() {
+            let populated = fs::read_dir(&target).is_ok_and(|mut entries| entries.next().is_some());
+            if !populated {
+                findings.push(Finding {
+                    rule: RULE_CORPUS_DIR,
+                    file: file.to_string(),
+                    line: lit.line,
+                    message: format!(
+                        "corpus directory {:?} is empty — bank entries into it \
+                         or drop the reference",
+                        lit.text
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
 fn rs_files_under(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     if !dir.is_dir() {
         return Ok(());
@@ -753,6 +802,7 @@ pub fn run(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
             findings.extend(check_env_var(&file, &scanned));
         }
         findings.extend(check_hot_path(&file, &scanned));
+        findings.extend(check_corpus_dirs(&file, &scanned, root));
     }
 
     // bench-prefix: guard constants against the bench targets' group names.

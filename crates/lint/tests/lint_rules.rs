@@ -4,8 +4,8 @@
 use std::path::{Path, PathBuf};
 
 use cpg_lint::{
-    check_bench_prefixes, check_env_var, check_forbid_unsafe, check_hot_path,
-    check_table_view_inline, run, scan, Scanned, RULE_BENCH_PREFIX, RULE_ENV_VAR,
+    check_bench_prefixes, check_corpus_dirs, check_env_var, check_forbid_unsafe, check_hot_path,
+    check_table_view_inline, run, scan, Scanned, RULE_BENCH_PREFIX, RULE_CORPUS_DIR, RULE_ENV_VAR,
     RULE_FORBID_UNSAFE, RULE_HOT_PATH, RULE_TABLE_VIEW_INLINE,
 };
 
@@ -115,6 +115,35 @@ fn stale_or_misshapen_bench_prefixes_are_flagged() {
     );
     assert!(
         findings[1].message.contains("missing_trailing_slash"),
+        "{}",
+        findings[1].message
+    );
+}
+
+#[test]
+fn missing_and_empty_corpus_dirs_are_flagged() {
+    // An empty directory cannot be committed to git, so the fixture root is
+    // built at runtime. The path segments are joined piecewise because this
+    // file is itself scanned by `run`, and a literal starting with the
+    // corpus prefix would have to exist under the real workspace root.
+    let root = std::env::temp_dir().join("cpg_lint_r6_fixture_root");
+    let _ = std::fs::remove_dir_all(&root);
+    let corpus = root.join("tests").join("corpus");
+    std::fs::create_dir_all(corpus.join("empty_bank")).expect("fixture root writable");
+    std::fs::create_dir_all(corpus.join("populated")).expect("fixture root writable");
+    std::fs::write(corpus.join("populated").join("w00.txt"), "seed: 1\n")
+        .expect("fixture entry writable");
+
+    let findings = check_corpus_dirs("fixture.rs", &fixture("r6_corpus_dir.rs"), &root);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == RULE_CORPUS_DIR));
+    assert!(
+        findings[0].message.contains("never_committed"),
+        "{}",
+        findings[0].message
+    );
+    assert!(
+        findings[1].message.contains("empty_bank"),
         "{}",
         findings[1].message
     );

@@ -9,9 +9,11 @@
 //!
 //! Differences from the real crate, by design:
 //!
-//! * **No shrinking.** A failing case reports the generated inputs verbatim
-//!   (every strategy value is `Debug`-printed by the caller's assertions);
-//!   `max_shrink_iters` is accepted for source compatibility and ignored.
+//! * **No automatic shrinking.** A failing case reports the generated inputs
+//!   verbatim (every strategy value is `Debug`-printed by the caller's
+//!   assertions); `max_shrink_iters` is accepted for source compatibility and
+//!   ignored. Callers that manage their own inputs can minimize offenders
+//!   explicitly with [`shrink::minimize_list`].
 //! * **Deterministic RNG.** Each test function derives its seed from its own
 //!   name (FNV-1a), so runs are reproducible across machines and CI without
 //!   a persisted failure file. Set `PROPTEST_SEED` to explore other streams,
@@ -24,6 +26,8 @@ use std::ops::{Range, RangeInclusive};
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
+
+pub mod shrink;
 
 pub mod test_runner {
     //! Runtime pieces used by the [`proptest!`](crate::proptest) macro

@@ -1,0 +1,122 @@
+//! Standalone input minimization (delta debugging).
+//!
+//! The shim's [`proptest!`](crate::proptest) runner reports failing cases
+//! verbatim instead of shrinking them (see the crate docs). Fuzzers that
+//! manage their own inputs — lists of mutation operations, edit sequences,
+//! event schedules — can still minimize offenders with [`minimize_list`], a
+//! ddmin-style reducer over an explicit failure predicate.
+
+/// Minimizes `items` to a smaller list that still satisfies `fails`.
+///
+/// `fails` must return `true` for the *failing* (interesting) behavior; the
+/// input list itself is expected to fail. The reducer repeatedly deletes
+/// chunks of halving size while the failure persists, so the result is
+/// 1-minimal with respect to chunk deletion: removing any single remaining
+/// element (on its own) makes the failure disappear.
+///
+/// The predicate is invoked `O(n log n)` times in the typical case and the
+/// returned list preserves the relative order of the surviving elements. If
+/// the input does not fail, it is returned unchanged.
+///
+/// # Example
+///
+/// ```
+/// use proptest::shrink::minimize_list;
+///
+/// // "Fails" whenever both 3 and 7 are present.
+/// let offender = vec![1, 3, 5, 7, 9, 11];
+/// let minimal = minimize_list(&offender, |items| {
+///     items.contains(&3) && items.contains(&7)
+/// });
+/// assert_eq!(minimal, vec![3, 7]);
+/// ```
+pub fn minimize_list<T: Clone>(items: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    if !fails(&current) {
+        return current;
+    }
+    let mut chunk = current.len().div_ceil(2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if fails(&candidate) {
+                // The deleted chunk was irrelevant; retry the same offset,
+                // which now addresses the elements that slid into its place.
+                current = candidate;
+                progressed = true;
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            if !progressed {
+                return current;
+            }
+            // Deletions at granularity 1 slid new elements together; one
+            // more sweep may unlock further deletions.
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failing_pair_reduces_to_the_pair() {
+        let input: Vec<u32> = (0..64).collect();
+        let minimal = minimize_list(&input, |items| items.contains(&13) && items.contains(&57));
+        assert_eq!(minimal, vec![13, 57]);
+    }
+
+    #[test]
+    fn single_culprit_reduces_to_one_element() {
+        let input: Vec<u32> = (0..33).collect();
+        let minimal = minimize_list(&input, |items| items.contains(&17));
+        assert_eq!(minimal, vec![17]);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let input = vec![1, 2, 3];
+        let calls = std::cell::Cell::new(0);
+        let minimal = minimize_list(&input, |_| {
+            calls.set(calls.get() + 1);
+            false
+        });
+        assert_eq!(minimal, input);
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn order_dependent_failures_keep_relative_order() {
+        // Fails when 5 appears before 2.
+        let input = vec![9, 5, 8, 2, 7];
+        let minimal = minimize_list(&input, |items| {
+            let five = items.iter().position(|&x| x == 5);
+            let two = items.iter().position(|&x| x == 2);
+            matches!((five, two), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(minimal, vec![5, 2]);
+    }
+
+    #[test]
+    fn whole_list_failures_stay_whole() {
+        let input = vec![1, 2, 3, 4];
+        let minimal = minimize_list(&input, |items| items.len() == 4);
+        assert_eq!(minimal, input);
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let minimal = minimize_list(&Vec::<u8>::new(), |_| true);
+        assert!(minimal.is_empty());
+    }
+}
